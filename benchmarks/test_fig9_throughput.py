@@ -1,0 +1,74 @@
+"""Figure 9: Pod creation throughput.
+
+(a) Fixed Pods, varying tenants: the tenant count does not affect
+    throughput; VirtualCluster sits a roughly constant ~21% below the
+    baseline.
+(b) Fixed tenants, varying Pods: VC throughput is roughly constant;
+    the baseline's decays as the pod count grows (scheduler backlog),
+    with a maximal VC degradation around ~34%.
+"""
+
+import pytest
+
+from repro.metrics import format_table
+
+from benchmarks.conftest import PARAMS, baseline_run, once, vc_run
+
+
+def test_fig9a_throughput_vs_tenants(benchmark):
+    num_pods = PARAMS["pods_sweep"][-1]
+    tenant_counts = [t for t in PARAMS["tenants_sweep"] if t <= num_pods]
+
+    def run():
+        rows = []
+        for tenants in tenant_counts:
+            vc = vc_run(num_pods, tenants)
+            base = baseline_run(num_pods, tenants)
+            rows.append((tenants, vc.throughput, base.throughput,
+                         100 * (1 - vc.throughput / base.throughput)))
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print(format_table(
+        ["tenants", "VC pods/s", "baseline pods/s", "degradation %"],
+        rows, title=f"Fig. 9(a): throughput at {num_pods} pods"))
+
+    vc_throughputs = [vc for _t, vc, _b, _d in rows]
+    degradations = [d for _t, _vc, _b, d in rows]
+    benchmark.extra_info["degradations_pct"] = [round(d, 1)
+                                                for d in degradations]
+    # Tenant count does not affect VC throughput (within 25%).
+    assert max(vc_throughputs) <= 1.25 * min(vc_throughputs)
+    # VC is consistently slower than baseline, by a moderate margin.
+    for degradation in degradations:
+        assert 2.0 < degradation < 45.0
+
+
+def test_fig9b_throughput_vs_pods(benchmark):
+    tenants = PARAMS["tenants_default"]
+
+    def run():
+        rows = []
+        for num_pods in PARAMS["pods_sweep"]:
+            vc = vc_run(num_pods, tenants)
+            base = baseline_run(num_pods, tenants)
+            rows.append((num_pods, vc.throughput, base.throughput,
+                         100 * (1 - vc.throughput / base.throughput)))
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print(format_table(
+        ["pods", "VC pods/s", "baseline pods/s", "degradation %"],
+        rows, title=f"Fig. 9(b): throughput at {tenants} tenants"))
+
+    degradations = [d for _p, _vc, _b, d in rows]
+    benchmark.extra_info["max_degradation_pct"] = round(max(degradations), 1)
+    # Maximal degradation moderate (paper ~34%).
+    assert max(degradations) < 50.0
+    # VC throughput roughly constant across pod counts at the high end
+    # (both pipelines need enough pods to saturate; compare the largest
+    # two runs).
+    large = [vc for _p, vc, _b, _d in rows[-2:]]
+    assert max(large) <= 1.3 * min(large)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Fig. 6 in action: vNodes preserve scheduling semantics.
+
+A tenant deploys two replicas of a critical service with a required
+inter-Pod anti-affinity rule (never co-locate).  With VirtualCluster's
+one-to-one vNode mapping the tenant can *verify* the rule held; the
+script also shows the virtual-kubelet contrast where everything collapses
+onto a single synthetic node.
+
+Run with:  python examples/anti_affinity.py
+"""
+
+from repro.core import VirtualClusterEnv
+from repro.objects import make_pod, with_anti_affinity
+
+
+def main():
+    env = VirtualClusterEnv(num_virtual_nodes=4)
+    env.bootstrap()
+    tenant = env.run_coroutine(env.create_tenant("acme"))
+    print(f"[{env.sim.now:6.2f}s] tenant {tenant.name!r} ready")
+
+    # Two replicas that must not share a host.
+    for name in ("critical-a", "critical-b"):
+        pod = with_anti_affinity(
+            make_pod(name, labels={"app": "critical"}),
+            "app", "critical")
+        env.run_coroutine(tenant.client.create(pod))
+    env.run_until_pods_ready(
+        tenant, ["default/critical-a", "default/critical-b"], timeout=60)
+
+    pod_a = env.run_coroutine(tenant.get_pod("critical-a"))
+    pod_b = env.run_coroutine(tenant.get_pod("critical-b"))
+    print(f"[{env.sim.now:6.2f}s] critical-a -> vNode "
+          f"{pod_a.spec.node_name}")
+    print(f"[{env.sim.now:6.2f}s] critical-b -> vNode "
+          f"{pod_b.spec.node_name}")
+    assert pod_a.spec.node_name != pod_b.spec.node_name
+    print("anti-affinity visibly enforced: two distinct vNodes, each "
+          "backed by a distinct physical node")
+
+    # The tenant's node view: exactly the physical nodes it occupies.
+    nodes, _rv = env.run_coroutine(tenant.client.list("nodes"))
+    print(f"tenant node list: {[node.name for node in nodes]}")
+
+    # Contrast (Fig. 6(b)): a virtual-kubelet-style provider shows one
+    # synthetic node, so the constraint cannot be observed.
+    print("\n--- virtual-kubelet contrast ---")
+    from repro.apiserver import ADMIN, APIServer
+    from repro.clientgo import Client, InformerFactory
+    from repro.config import DEFAULT_CONFIG
+    from repro.objects import make_namespace
+    from repro.simkernel import Simulation
+    from repro.virtualkubelet import VirtualKubelet
+
+    sim = Simulation()
+    api = APIServer(sim, "vk-cluster")
+    client = Client(sim, api, ADMIN, qps=100000, burst=100000)
+    vk = VirtualKubelet(sim, "virtual-kubelet", client, DEFAULT_CONFIG,
+                        InformerFactory(sim, client))
+
+    def setup():
+        yield from client.create(make_namespace("default"))
+        yield from vk.start()
+        yield from client.create(make_pod("critical-a",
+                                          node_name="virtual-kubelet"))
+        yield from client.create(make_pod("critical-b",
+                                          node_name="virtual-kubelet"))
+
+    sim.run(until=sim.process(setup()))
+    sim.run(until=sim.now + 3)
+
+    def fetch():
+        items, _rv = yield from client.list("pods", namespace="default")
+        return items
+
+    pods = sim.run(until=sim.process(fetch()))
+    for pod in pods:
+        print(f"{pod.name} -> node {pod.spec.node_name} "
+              f"({pod.status.phase})")
+    print("both replicas report the same node object: whether the "
+          "constraint held on real hardware is invisible to the user")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""API errors with Kubernetes-style status codes and reasons."""
+
+
+class ApiError(Exception):
+    """Base class; carries an HTTP-ish status code and reason."""
+
+    code = 500
+    reason = "InternalError"
+
+    def __init__(self, message=""):
+        super().__init__(message or self.reason)
+        self.message = message or self.reason
+
+
+class NotFound(ApiError):
+    code = 404
+    reason = "NotFound"
+
+
+class AlreadyExists(ApiError):
+    code = 409
+    reason = "AlreadyExists"
+
+
+class Conflict(ApiError):
+    code = 409
+    reason = "Conflict"
+
+
+class Invalid(ApiError):
+    code = 422
+    reason = "Invalid"
+
+
+class BadRequest(ApiError):
+    code = 400
+    reason = "BadRequest"
+
+
+class Unauthorized(ApiError):
+    code = 401
+    reason = "Unauthorized"
+
+
+class Forbidden(ApiError):
+    code = 403
+    reason = "Forbidden"
+
+
+class TooManyRequests(ApiError):
+    code = 429
+    reason = "TooManyRequests"
+
+    def __init__(self, message="", retry_after=1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class Timeout(ApiError):
+    code = 504
+    reason = "Timeout"
+
+
+class ServerUnavailable(ApiError):
+    code = 503
+    reason = "ServiceUnavailable"
+
+
+def is_retryable(error):
+    """Whether a client should retry the request (with backoff)."""
+    return isinstance(error, (TooManyRequests, Timeout, ServerUnavailable))

@@ -1,0 +1,475 @@
+"""The apiserver: typed CRUD + list + watch over the MVCC store.
+
+All request-handling methods are simulation coroutines: callers invoke
+them as ``result = yield from api.create(cred, obj)`` inside a simulated
+process.  Each request pays the configured authn/authz/admission overhead
+plus etcd latency, and holds a max-inflight slot while being processed —
+which is exactly the shared-control-plane pressure point the paper's
+Figure 1 describes.
+"""
+
+import string
+
+from repro.config import DEFAULT_CONFIG
+from repro.objects import Namespace, generate_uid
+from repro.objects.validation import ValidationError, validate_metadata
+from repro.storage import (
+    EVENT_PUT,
+    EtcdStore,
+    KeyAlreadyExists,
+    KeyNotFound,
+    RevisionConflict,
+)
+
+from .admission import AdmissionRequest, default_admission_chain
+from .auth import ADMIN, AllowAllAuthorizer, Authenticator, RBACAuthorizer
+from .errors import (
+    AlreadyExists,
+    BadRequest,
+    Conflict,
+    Invalid,
+    NotFound,
+)
+from .ratelimit import MaxInflightLimiter
+from .registry import ResourceRegistry
+
+_NAME_ALPHABET = string.ascii_lowercase + string.digits
+
+
+class StoreReader:
+    """Zero-latency internal reads used by admission and RBAC."""
+
+    def __init__(self, server):
+        self._server = server
+
+    def read(self, plural, namespace, name):
+        obj_type = self._server.registry.get(plural)
+        key = self._server._key(obj_type, namespace, name)
+        raw, revision = self._server.store.try_get(key)
+        if raw is None:
+            return None
+        return self._server._decode(obj_type, raw, revision)
+
+    def read_all(self, plural):
+        obj_type = self._server.registry.get(plural)
+        prefix = self._server._prefix(obj_type)
+        items, _revision = self._server.store.list_prefix(prefix)
+        return [self._server._decode(obj_type, raw, rev)
+                for _key, raw, rev in items]
+
+
+class WatchStream:
+    """A typed watch over one resource (optionally one namespace).
+
+    Field/label selector filtering happens server-side (a predicate on
+    the raw store events), so only relevant events reach this stream.
+    """
+
+    def __init__(self, server, obj_type, watch):
+        self._server = server
+        self._obj_type = obj_type
+        self._watch = watch
+        self.closed = False
+
+    def next(self):
+        """Coroutine: wait for and return the next (type, object) event."""
+        event = yield self._watch.channel.get()
+        delay = self._server.config.apiserver.watch_delivery
+        if delay:
+            yield self._server.sim.timeout(delay)
+        return self._translate(event)
+
+    def _translate(self, event):
+        obj = self._server._decode(self._obj_type, event.value,
+                                   event.revision)
+        if event.type == EVENT_PUT:
+            kind = "ADDED" if event.prev_value is None else "MODIFIED"
+        else:
+            kind = "DELETED"
+        return kind, obj
+
+    def stop(self):
+        self.closed = True
+        self._watch.cancel()
+
+
+class APIServer:
+    """One control plane's apiserver."""
+
+    def __init__(self, sim, name, config=None, store=None, registry=None,
+                 authorizer=None, admission_plugins=None, rbac=False,
+                 per_user_inflight=None):
+        self.sim = sim
+        self.name = name
+        self.config = config or DEFAULT_CONFIG
+        self.store = store or EtcdStore(sim, name=f"{name}-etcd")
+        self.registry = registry or ResourceRegistry()
+        self.reader = StoreReader(self)
+        self.authenticator = Authenticator()
+        self.authenticator.register(ADMIN)
+        if authorizer is not None:
+            self.authorizer = authorizer
+        elif rbac:
+            self.authorizer = RBACAuthorizer(self.reader)
+        else:
+            self.authorizer = AllowAllAuthorizer()
+        self.admission = (admission_plugins
+                          if admission_plugins is not None
+                          else default_admission_chain())
+        self._inflight = MaxInflightLimiter(
+            sim, self.config.apiserver.max_inflight,
+            name=f"{name}-inflight")
+        # Optional API Priority & Fairness: per-user concurrency shares.
+        self._apf = None
+        if per_user_inflight is not None:
+            from .ratelimit import PerUserInflightLimiter
+
+            self._apf = PerUserInflightLimiter(
+                sim, per_user_inflight, name=f"{name}-apf")
+        self._watch_streams = []
+        self.request_count = 0
+        self.healthy = True
+        # Optional idle-swap support (see repro.core.swapper): when set
+        # and swapped out, the first request pays the page-in latency.
+        self.swap_state = None
+
+    # ------------------------------------------------------------------
+    # Keys and codecs
+    # ------------------------------------------------------------------
+
+    def _key(self, obj_type, namespace, name):
+        if obj_type.NAMESPACED:
+            if not namespace:
+                raise BadRequest(
+                    f"{obj_type.PLURAL} is namespaced; namespace required")
+            return f"/registry/{obj_type.PLURAL}/{namespace}/{name}"
+        return f"/registry/{obj_type.PLURAL}/{name}"
+
+    def _prefix(self, obj_type, namespace=None):
+        if obj_type.NAMESPACED and namespace:
+            return f"/registry/{obj_type.PLURAL}/{namespace}/"
+        return f"/registry/{obj_type.PLURAL}/"
+
+    def _decode(self, obj_type, raw, revision):
+        obj = obj_type.from_dict(raw)
+        obj.metadata.resource_version = str(revision)
+        return obj
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+
+    def _begin(self, credential, verb, plural, namespace=None, name=None):
+        """Common request front half: authn, authz, overhead charge."""
+        if not self.healthy:
+            from .errors import ServerUnavailable
+
+            raise ServerUnavailable(f"{self.name} is down")
+        self.request_count += 1
+        if self.swap_state is not None:
+            yield from self.swap_state.ensure_awake()
+        credential = self.authenticator.authenticate(credential)
+        self.authorizer.authorize(credential, verb, plural, namespace, name)
+        if self._apf is not None:
+            yield self._apf.acquire(credential.user)
+        yield self._inflight.acquire()
+        try:
+            yield self.sim.timeout(self.config.apiserver.request_overhead)
+        except BaseException:
+            self._release(credential)
+            raise
+        return credential
+
+    def _release(self, credential):
+        self._inflight.release()
+        if self._apf is not None:
+            self._apf.release(credential.user)
+
+    def _admit(self, credential, verb, plural, obj, old_obj, namespace):
+        request = AdmissionRequest(verb, plural, obj, old_obj=old_obj,
+                                   namespace=namespace, credential=credential)
+        for plugin in self.admission:
+            plugin.admit(request, self.reader)
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+
+    def create(self, credential, obj, namespace=None):
+        """Coroutine: persist a new object; returns the stored copy."""
+        obj_type = type(obj)
+        plural = obj_type.PLURAL
+        if not self.registry.has(plural):
+            raise NotFound(f"no resource {plural!r} registered")
+        obj = obj.copy()
+        if obj_type.NAMESPACED:
+            obj.metadata.namespace = obj.metadata.namespace or namespace
+        if obj.metadata.name is None and obj.metadata.generate_name:
+            obj.metadata.name = self._generate_name(obj.metadata.generate_name)
+        credential = yield from self._begin(
+            credential, "create", plural, obj.metadata.namespace,
+            obj.metadata.name)
+        try:
+            try:
+                validate_metadata(obj, obj_type.NAMESPACED)
+            except ValidationError as exc:
+                raise Invalid(str(exc)) from exc
+            self._admit(credential, "create", plural, obj, None,
+                        obj.metadata.namespace)
+            obj.metadata.uid = generate_uid()
+            obj.metadata.creation_timestamp = self.sim.now
+            obj.metadata.generation = 1
+            obj.metadata.resource_version = None
+            key = self._key(obj_type, obj.metadata.namespace,
+                            obj.metadata.name)
+            try:
+                revision = self.store.create(key, obj.to_dict())
+            except KeyAlreadyExists as exc:
+                raise AlreadyExists(
+                    f"{plural} {obj.key!r} already exists") from exc
+            yield self.sim.timeout(self.config.apiserver.etcd_write)
+            obj.metadata.resource_version = str(revision)
+            return obj
+        finally:
+            self._release(credential)
+
+    def get(self, credential, plural, name, namespace=None):
+        """Coroutine: fetch one object; raises NotFound."""
+        obj_type = self.registry.get(plural)
+        credential = yield from self._begin(credential, "get", plural,
+                                            namespace, name)
+        try:
+            key = self._key(obj_type, namespace, name)
+            try:
+                raw, revision = self.store.get(key)
+            except KeyNotFound as exc:
+                raise NotFound(f"{plural} {name!r} not found") from exc
+            yield self.sim.timeout(self.config.apiserver.etcd_read)
+            return self._decode(obj_type, raw, revision)
+        finally:
+            self._release(credential)
+
+    def list(self, credential, plural, namespace=None, label_selector=None,
+             field_selector=None):
+        """Coroutine: list objects; returns (items, resource_version)."""
+        from repro.objects.selectors import match_fields
+
+        obj_type = self.registry.get(plural)
+        credential = yield from self._begin(credential, "list", plural,
+                                            namespace)
+        try:
+            prefix = self._prefix(obj_type, namespace)
+            raw_items, revision = self.store.list_prefix(prefix)
+            cost = (self.config.apiserver.list_base
+                    + self.config.apiserver.list_per_item * len(raw_items))
+            yield self.sim.timeout(cost)
+            items = []
+            for _key, raw, item_rev in raw_items:
+                obj = self._decode(obj_type, raw, item_rev)
+                if label_selector is not None and not label_selector.matches(
+                        obj.metadata.labels):
+                    continue
+                if field_selector and not match_fields(field_selector, raw):
+                    continue
+                items.append(obj)
+            return items, str(revision)
+        finally:
+            self._release(credential)
+
+    def update(self, credential, obj, subresource=None):
+        """Coroutine: replace an object (CAS on its resourceVersion).
+
+        ``subresource="status"`` replaces only the status block, like the
+        real ``/status`` subresource used by kubelets and controllers.
+        """
+        obj_type = type(obj)
+        plural = obj_type.PLURAL
+        verb = "update" if subresource is None else f"update:{subresource}"
+        credential = yield from self._begin(
+            credential, "update", plural, obj.metadata.namespace,
+            obj.metadata.name)
+        try:
+            key = self._key(obj_type, obj.metadata.namespace,
+                            obj.metadata.name)
+            try:
+                stored_raw, stored_rev = self.store.get(key)
+            except KeyNotFound as exc:
+                raise NotFound(f"{plural} {obj.key!r} not found") from exc
+            stored = self._decode(obj_type, stored_raw, stored_rev)
+
+            expected = None
+            if obj.metadata.resource_version:
+                expected = int(obj.metadata.resource_version)
+                if expected != stored_rev:
+                    raise Conflict(
+                        f"{plural} {obj.key!r}: stale resourceVersion "
+                        f"{expected} (current {stored_rev})")
+
+            if subresource == "status":
+                new_obj = stored.copy()
+                if hasattr(obj, "status"):
+                    new_obj.status = obj.status
+            else:
+                new_obj = obj.copy()
+                new_obj.metadata.uid = stored.metadata.uid
+                new_obj.metadata.creation_timestamp = (
+                    stored.metadata.creation_timestamp)
+                new_obj.metadata.generation = stored.metadata.generation
+                if self._spec_changed(stored, new_obj):
+                    new_obj.metadata.generation += 1
+                self._admit(credential, "update", plural, new_obj, stored,
+                            new_obj.metadata.namespace)
+
+            # Finalizer bookkeeping: removing the last finalizer of a
+            # deleted object actually removes the object.
+            if (new_obj.metadata.deletion_timestamp is not None
+                    and not new_obj.metadata.finalizers
+                    and not self._namespace_pinned(new_obj)):
+                self.store.delete(key, expected_revision=stored_rev)
+                yield self.sim.timeout(self.config.apiserver.etcd_write)
+                new_obj.metadata.resource_version = None
+                return new_obj
+
+            new_obj.metadata.resource_version = None
+            try:
+                revision = self.store.update(key, new_obj.to_dict(),
+                                             expected_revision=stored_rev)
+            except RevisionConflict as exc:
+                raise Conflict(str(exc)) from exc
+            yield self.sim.timeout(self.config.apiserver.etcd_write)
+            new_obj.metadata.resource_version = str(revision)
+            return new_obj
+        finally:
+            self._release(credential)
+
+    def patch(self, credential, plural, name, patch, namespace=None):
+        """Coroutine: deep-merge ``patch`` (a dict) into the stored object."""
+        obj_type = self.registry.get(plural)
+        current = yield from self.get(credential, plural, name,
+                                      namespace=namespace)
+        merged_raw = _deep_merge(current.to_dict(), patch)
+        merged = self._decode(obj_type, merged_raw,
+                              int(current.metadata.resource_version))
+        merged.metadata.resource_version = current.metadata.resource_version
+        return (yield from self.update(credential, merged))
+
+    def delete(self, credential, plural, name, namespace=None):
+        """Coroutine: delete an object (honouring finalizers)."""
+        obj_type = self.registry.get(plural)
+        credential = yield from self._begin(credential, "delete", plural,
+                                            namespace, name)
+        try:
+            key = self._key(obj_type, namespace, name)
+            try:
+                stored_raw, stored_rev = self.store.get(key)
+            except KeyNotFound as exc:
+                raise NotFound(f"{plural} {name!r} not found") from exc
+            obj = self._decode(obj_type, stored_raw, stored_rev)
+
+            needs_finalization = (bool(obj.metadata.finalizers)
+                                  or self._namespace_pinned(obj))
+            if needs_finalization:
+                if obj.metadata.deletion_timestamp is None:
+                    obj.metadata.deletion_timestamp = self.sim.now
+                    if isinstance(obj, Namespace):
+                        obj.status.phase = "Terminating"
+                    obj.metadata.resource_version = None
+                    revision = self.store.update(
+                        key, obj.to_dict(), expected_revision=stored_rev)
+                    obj.metadata.resource_version = str(revision)
+                yield self.sim.timeout(self.config.apiserver.etcd_write)
+                return obj
+            self.store.delete(key, expected_revision=stored_rev)
+            yield self.sim.timeout(self.config.apiserver.etcd_write)
+            return obj
+        finally:
+            self._release(credential)
+
+    def _namespace_pinned(self, obj):
+        """Namespaces finalize through spec.finalizers, not metadata."""
+        return isinstance(obj, Namespace) and bool(obj.spec.finalizers)
+
+    # ------------------------------------------------------------------
+    # Watch / binding / helpers
+    # ------------------------------------------------------------------
+
+    def watch(self, credential, plural, namespace=None, from_revision=None,
+              label_selector=None, field_selector=None):
+        """Open a watch stream (synchronous registration)."""
+        from repro.objects.selectors import match_fields
+
+        credential = self.authenticator.authenticate(credential)
+        self.authorizer.authorize(credential, "watch", plural, namespace)
+        obj_type = self.registry.get(plural)
+        prefix = self._prefix(obj_type, namespace)
+
+        predicate = None
+        if label_selector is not None or field_selector:
+            def predicate(event):
+                raw = event.value
+                if label_selector is not None:
+                    labels = raw.get("metadata", {}).get("labels", {}) or {}
+                    if not label_selector.matches(labels):
+                        return False
+                if field_selector and not match_fields(field_selector, raw):
+                    return False
+                return True
+
+        watch = self.store.watch(prefix, from_revision=from_revision,
+                                 predicate=predicate)
+        stream = WatchStream(self, obj_type, watch)
+        self._watch_streams.append(stream)
+        return stream
+
+    def bind_pod(self, credential, name, namespace, node_name):
+        """Coroutine: the pods/binding subresource used by the scheduler."""
+        pod = yield from self.get(credential, "pods", name,
+                                  namespace=namespace)
+        if pod.spec.node_name:
+            raise Conflict(
+                f"pod {pod.key!r} already bound to {pod.spec.node_name!r}")
+        pod.spec.node_name = node_name
+        yield self.sim.timeout(self.config.scheduler.binding_write)
+        return (yield from self.update(credential, pod))
+
+    def crash(self):
+        """Simulate an apiserver restart: all watches break."""
+        self.healthy = False
+        for stream in self._watch_streams:
+            stream.stop()
+        self._watch_streams = []
+
+    def recover(self):
+        self.healthy = True
+
+    def _generate_name(self, base):
+        suffix = "".join(self.sim.rng.choice(_NAME_ALPHABET)
+                         for _ in range(5))
+        return f"{base}{suffix}"
+
+    def _spec_changed(self, old, new):
+        old_spec = getattr(old, "spec", None)
+        new_spec = getattr(new, "spec", None)
+        if old_spec is None or new_spec is None:
+            return False
+        dump = (old_spec.to_dict() if hasattr(old_spec, "to_dict")
+                else old_spec)
+        dump_new = (new_spec.to_dict() if hasattr(new_spec, "to_dict")
+                    else new_spec)
+        return dump != dump_new
+
+
+def _deep_merge(base, patch):
+    """Strategic-merge-lite: dicts merge recursively, everything else replaces.
+
+    A ``None`` value in the patch deletes the key.
+    """
+    out = dict(base)
+    for key, value in patch.items():
+        if value is None:
+            out.pop(key, None)
+        elif isinstance(value, dict) and isinstance(out.get(key), dict):
+            out[key] = _deep_merge(out[key], value)
+        else:
+            out[key] = value
+    return out

@@ -1,0 +1,26 @@
+"""client-go analogue: clients, reflectors, informers, work queues."""
+
+from .cache import ObjectCache, estimate_object_bytes
+from .client import Client, Kubeconfig
+from .fairqueue import FairWorkQueue
+from .informer import InformerFactory, SharedInformer
+from .reflector import ADDED, DELETED, MODIFIED, Reflector
+from .workqueue import DelayingQueue, RateLimitingQueue, ShutDown, WorkQueue
+
+__all__ = [
+    "ADDED",
+    "Client",
+    "DELETED",
+    "DelayingQueue",
+    "FairWorkQueue",
+    "InformerFactory",
+    "Kubeconfig",
+    "MODIFIED",
+    "ObjectCache",
+    "RateLimitingQueue",
+    "Reflector",
+    "SharedInformer",
+    "ShutDown",
+    "WorkQueue",
+    "estimate_object_bytes",
+]

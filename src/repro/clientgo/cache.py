@@ -1,0 +1,75 @@
+"""The read-only object cache (client-go "Indexer"/thread-safe store).
+
+Reconcilers read object state from here instead of querying the apiserver
+(paper Fig. 3 / Fig. 5); the caches also dominate the syncer's memory
+footprint, so the cache tracks an estimated byte size per object.
+"""
+
+
+def estimate_object_bytes(obj, factor, overhead):
+    """Rough in-memory size of a decoded API object.
+
+    Proportional to the serialized size — like real informer caches, where
+    a Pod with managed fields occupies tens of kilobytes.
+    """
+    return int(len(str(obj.to_dict())) * factor) + overhead
+
+
+class ObjectCache:
+    """Keyed store of the latest observed object versions."""
+
+    def __init__(self, size_factor=0.0, size_overhead=0):
+        self._items = {}
+        self._sizes = {}
+        self._size_factor = size_factor
+        self._size_overhead = size_overhead
+        self.total_bytes = 0
+
+    def upsert(self, obj):
+        key = obj.key
+        if self._size_factor:
+            new_size = estimate_object_bytes(obj, self._size_factor,
+                                             self._size_overhead)
+            self.total_bytes += new_size - self._sizes.get(key, 0)
+            self._sizes[key] = new_size
+        self._items[key] = obj
+
+    def delete(self, key):
+        if key in self._items:
+            del self._items[key]
+            self.total_bytes -= self._sizes.pop(key, 0)
+
+    def get(self, key):
+        return self._items.get(key)
+
+    def get_copy(self, key):
+        """A deep copy safe to mutate (reconcilers must not edit the cache)."""
+        obj = self._items.get(key)
+        return obj.copy() if obj is not None else None
+
+    def keys(self):
+        return list(self._items)
+
+    def items(self):
+        return list(self._items.values())
+
+    def by_namespace(self, namespace):
+        return [obj for obj in self._items.values()
+                if obj.metadata.namespace == namespace]
+
+    def select(self, predicate):
+        return [obj for obj in self._items.values() if predicate(obj)]
+
+    def replace(self, objs):
+        """Atomically replace contents (reflector relist)."""
+        self._items.clear()
+        self._sizes.clear()
+        self.total_bytes = 0
+        for obj in objs:
+            self.upsert(obj)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __contains__(self, key):
+        return key in self._items

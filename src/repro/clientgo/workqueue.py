@@ -1,0 +1,166 @@
+"""client-go style work queues.
+
+:class:`WorkQueue` reproduces the exact semantics of client-go's ``Type``:
+
+- an item present in the queue is **deduplicated** (adding it again is a
+  no-op) — the paper leans on this to argue the syncer's queues cannot
+  grow without bound;
+- an item currently being processed that is re-added goes to a *dirty*
+  set and is re-queued when the worker calls :meth:`done`;
+- :meth:`get` blocks (in simulated time) until an item is available.
+
+:class:`RateLimitingQueue` adds per-item exponential backoff for retries,
+and :class:`DelayingQueue` supports ``add_after``.
+"""
+
+from collections import deque
+
+from repro.simkernel.events import Event
+
+
+class ShutDown(Exception):
+    """The queue was shut down while a worker waited on get()."""
+
+
+class WorkQueue:
+    """FIFO queue with client-go dedup/dirty/processing semantics."""
+
+    def __init__(self, sim, name="workqueue"):
+        self.sim = sim
+        self.name = name
+        self._queue = deque()
+        self._dirty = set()
+        self._processing = set()
+        self._waiters = deque()
+        self._shutdown = False
+        self.added_total = 0
+        self.deduped_total = 0
+        self._enqueue_times = {}
+        self.wait_time_total = 0.0
+
+    def __len__(self):
+        return len(self._queue)
+
+    @property
+    def is_shutdown(self):
+        return self._shutdown
+
+    def add(self, item):
+        """Enqueue ``item`` unless it is already pending."""
+        if self._shutdown:
+            return
+        self.added_total += 1
+        if item in self._dirty:
+            self.deduped_total += 1
+            return
+        self._dirty.add(item)
+        if item in self._processing:
+            # Will be re-queued by done().
+            return
+        self._push(item)
+
+    def _push(self, item):
+        self._enqueue_times.setdefault(item, self.sim.now)
+        if self._waiters:
+            self._dispatch(item, self._waiters.popleft())
+        else:
+            self._queue.append(item)
+
+    def _dispatch(self, item, waiter):
+        self._dirty.discard(item)
+        self._processing.add(item)
+        queued_at = self._enqueue_times.pop(item, self.sim.now)
+        self.wait_time_total += self.sim.now - queued_at
+        waiter.succeed((item, queued_at))
+
+    def get(self):
+        """Event resolving to ``(item, enqueued_at)``; marks it processing."""
+        event = Event(self.sim)
+        if self._shutdown and not self._queue:
+            event.fail(ShutDown(self.name))
+            return event
+        if self._queue:
+            item = self._queue.popleft()
+            self._dispatch(item, _ImmediateWaiter(event))
+            return event
+        self._waiters.append(_DeferredWaiter(event))
+        return event
+
+    def done(self, item):
+        """Worker finished ``item``; re-queues it if it went dirty."""
+        self._processing.discard(item)
+        if item in self._dirty:
+            if not self._shutdown:
+                self._push(item)
+            else:
+                self._dirty.discard(item)
+
+    def shutdown(self):
+        self._shutdown = True
+        while self._waiters:
+            self._waiters.popleft().fail(ShutDown(self.name))
+
+    def stats(self):
+        return {
+            "depth": len(self._queue),
+            "added": self.added_total,
+            "deduped": self.deduped_total,
+            "processing": len(self._processing),
+        }
+
+
+class _ImmediateWaiter:
+    """Adapter so _dispatch can succeed an already-created event."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event):
+        self.event = event
+
+    def succeed(self, value):
+        self.event.succeed(value)
+
+    def fail(self, exc):
+        self.event.fail(exc)
+
+
+class _DeferredWaiter(_ImmediateWaiter):
+    pass
+
+
+class DelayingQueue(WorkQueue):
+    """WorkQueue plus ``add_after(item, delay)``."""
+
+    def add_after(self, item, delay):
+        if delay <= 0:
+            self.add(item)
+            return
+
+        def later():
+            yield self.sim.timeout(delay)
+            self.add(item)
+
+        self.sim.spawn(later(), name=f"{self.name}-delayed-add")
+
+
+class RateLimitingQueue(DelayingQueue):
+    """DelayingQueue plus per-item exponential retry backoff."""
+
+    def __init__(self, sim, name="ratelimit-queue", base_delay=0.005,
+                 max_delay=10.0):
+        super().__init__(sim, name=name)
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._failures = {}
+
+    def add_rate_limited(self, item):
+        failures = self._failures.get(item, 0)
+        self._failures[item] = failures + 1
+        delay = min(self._base_delay * (2 ** failures), self._max_delay)
+        self.add_after(item, delay)
+
+    def forget(self, item):
+        self._failures.pop(item, None)
+
+    def num_requeues(self, item):
+        return self._failures.get(item, 0)

@@ -1,0 +1,80 @@
+"""Owner-reference garbage collector.
+
+Deletes dependents whose controller owner no longer exists (e.g. Pods of
+a deleted ReplicaSet).  Tracks a subset of (owner kind → dependent
+plural) edges sufficient for the workload controllers in this repo.
+"""
+
+from repro.apiserver.errors import NotFound
+
+from .base import Controller
+
+# Dependent resources scanned for dangling owners.
+SCANNED_PLURALS = ("pods", "replicasets")
+
+
+class GarbageCollector(Controller):
+    name = "garbage-collector"
+
+    def __init__(self, sim, client, informer_factory, workers=1,
+                 scan_interval=0.5):
+        super().__init__(sim, client, workers=workers)
+        self.scan_interval = scan_interval
+        self._informers = {
+            plural: informer_factory.informer(plural)
+            for plural in SCANNED_PLURALS
+        }
+        self._owner_informers = {
+            "ReplicaSet": informer_factory.informer("replicasets"),
+            "Deployment": informer_factory.informer("deployments"),
+        }
+        self._scanner = None
+
+    def start(self):
+        processes = super().start()
+        self._scanner = self.sim.spawn(self._scan_loop(), name="gc-scanner")
+        return processes
+
+    def stop(self):
+        super().stop()
+        if self._scanner is not None:
+            self._scanner.interrupt("gc stopped")
+
+    def _scan_loop(self):
+        from repro.simkernel.errors import Interrupt
+
+        while not self._stopped:
+            try:
+                yield self.sim.timeout(self.scan_interval)
+            except Interrupt:
+                return
+            for plural, informer in self._informers.items():
+                for obj in informer.cache.items():
+                    if self._has_dangling_owner(obj):
+                        self.enqueue(f"{plural}|{obj.key}")
+
+    def _has_dangling_owner(self, obj):
+        for ref in obj.metadata.owner_references:
+            if not ref.controller:
+                continue
+            owner_informer = self._owner_informers.get(ref.kind)
+            if owner_informer is None:
+                continue
+            owner_key = (f"{obj.namespace}/{ref.name}"
+                         if obj.namespace else ref.name)
+            owner = owner_informer.cache.get(owner_key)
+            if owner is None or owner.uid != ref.uid:
+                return True
+        return False
+
+    def reconcile(self, key):
+        plural, obj_key = key.split("|", 1)
+        informer = self._informers[plural]
+        obj = informer.cache.get(obj_key)
+        if obj is None or not self._has_dangling_owner(obj):
+            return
+        try:
+            yield from self.client.delete(plural, obj.name,
+                                          namespace=obj.namespace)
+        except NotFound:
+            pass

@@ -1,0 +1,79 @@
+"""The VirtualCluster (VC) custom resource.
+
+Managed by the super-cluster administrator; one VC object describes one
+tenant control plane (apiserver version, provisioning mode, resources).
+The tenant operator reconciles these objects (paper §III-B(1)).
+"""
+
+import hashlib
+
+from repro.objects.base import Field, Serializable
+from repro.objects.meta import KubeObject
+
+
+class VirtualClusterSpec(Serializable):
+    FIELDS = (
+        Field("apiserver_version", default="v1.18"),
+        Field("mode", default="local"),  # "local" or "cloud"
+        Field("cloud_provider"),          # e.g. "ack", "eks" in cloud mode
+        Field("etcd_dedicated", default=True),
+        Field("resources", container="map",
+              default_factory=lambda: {"cpu": "2", "memory": "4Gi"}),
+        Field("tenant_weight", default=1),
+        Field("paused", default=False),
+    )
+
+
+class VirtualClusterStatus(Serializable):
+    FIELDS = (
+        Field("phase", default="Pending"),
+        Field("reason"),
+        Field("message"),
+        Field("kubeconfig_secret"),
+        Field("cert_hash"),
+        Field("control_plane_endpoint"),
+        Field("conditions", container="list", default_factory=list),
+    )
+
+
+class VirtualCluster(KubeObject):
+    API_VERSION = "tenancy.x-k8s.io/v1alpha1"
+    KIND = "VirtualCluster"
+    PLURAL = "virtualclusters"
+    NAMESPACED = True
+
+    FIELDS = (
+        Field("spec", type=VirtualClusterSpec,
+              default_factory=VirtualClusterSpec),
+        Field("status", type=VirtualClusterStatus,
+              default_factory=VirtualClusterStatus),
+    )
+
+    @property
+    def is_running(self):
+        return self.status.phase == "Running"
+
+
+def short_uid_hash(uid):
+    """Six-hex-character hash of an object UID (namespace prefix part)."""
+    return hashlib.sha256(str(uid).encode()).hexdigest()[:6]
+
+
+def cluster_prefix(vc):
+    """The per-VC namespace prefix: ``<name>-<uidhash>`` (paper §III-B(2))."""
+    return f"{vc.name}-{short_uid_hash(vc.uid)}"
+
+
+def super_namespace(vc, tenant_namespace):
+    """Map a tenant namespace to its super-cluster namespace."""
+    return f"{cluster_prefix(vc)}-{tenant_namespace}"
+
+
+def make_virtual_cluster(name, namespace="vc-manager", weight=1,
+                         mode="local"):
+    vc = VirtualCluster()
+    vc.metadata.name = name
+    vc.metadata.namespace = namespace
+    vc.spec.tenant_weight = weight
+    vc.spec.mode = mode
+    return vc

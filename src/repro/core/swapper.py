@@ -1,0 +1,132 @@
+"""Idle control-plane memory reduction (paper §V, future work #2).
+
+"How to reduce the tenant control plane resources, especially for idle
+tenants, is challenging. ... one possible solution is to allow memory
+overcommitment in the nodes that run the tenant control planes and swap
+the idle tenant control plane memory out."
+
+This module implements that proposal with its stated trade-off: an idle
+tenant control plane's resident memory shrinks to a small residual, and
+the *next* request pays a wake-up (page-in) latency.
+"""
+
+from repro.simkernel.errors import Interrupt
+
+# Modelled resident set of an idle-but-awake tenant control plane
+# (apiserver + etcd + controller manager), before object storage.
+BASE_CONTROL_PLANE_BYTES = 220 * 1024 * 1024
+PER_OBJECT_BYTES = 18 * 1024
+
+
+class SwapState:
+    """Swap bookkeeping attached to one tenant apiserver."""
+
+    def __init__(self, sim, wake_latency):
+        self.sim = sim
+        self.wake_latency = wake_latency
+        self.swapped = False
+        self.swap_outs = 0
+        self.swap_ins = 0
+        self.wake_time_total = 0.0
+
+    def ensure_awake(self):
+        """Coroutine: called on the request path; pages the control
+        plane back in when it was swapped out."""
+        if not self.swapped:
+            return
+        self.swapped = False
+        self.swap_ins += 1
+        self.wake_time_total += self.wake_latency
+        yield self.sim.timeout(self.wake_latency)
+
+
+def control_plane_memory(control_plane, residual_fraction=0.15):
+    """Modelled resident bytes of one tenant control plane."""
+    objects = len(control_plane.api.store)
+    resident = BASE_CONTROL_PLANE_BYTES + objects * PER_OBJECT_BYTES
+    state = getattr(control_plane.api, "swap_state", None)
+    if state is not None and state.swapped:
+        return int(resident * residual_fraction)
+    return resident
+
+
+class IdleSwapper:
+    """Watches tenant control planes and swaps out the idle ones.
+
+    A control plane is idle when its apiserver served no requests for
+    ``idle_threshold`` simulated seconds.  Swapping is transparent to
+    tenants except for the wake-up latency on their next request — the
+    performance/cost trade-off the paper describes.
+    """
+
+    def __init__(self, sim, idle_threshold=60.0, check_interval=10.0,
+                 wake_latency=0.8, residual_fraction=0.15):
+        self.sim = sim
+        self.idle_threshold = idle_threshold
+        self.check_interval = check_interval
+        self.wake_latency = wake_latency
+        self.residual_fraction = residual_fraction
+        self._tracked = {}
+        self._process = None
+        self.swap_out_count = 0
+
+    def track(self, control_plane):
+        """Attach swap support to a tenant control plane."""
+        api = control_plane.api
+        if getattr(api, "swap_state", None) is None:
+            api.swap_state = SwapState(self.sim, self.wake_latency)
+        self._tracked[control_plane.name] = {
+            "control_plane": control_plane,
+            "last_count": api.request_count,
+            "last_activity": self.sim.now,
+        }
+
+    def untrack(self, control_plane):
+        self._tracked.pop(control_plane.name, None)
+
+    def start(self):
+        if self._process is None:
+            self._process = self.sim.spawn(self._loop(), name="idle-swapper")
+        return self._process
+
+    def stop(self):
+        if self._process is not None:
+            self._process.interrupt("swapper stopped")
+            self._process = None
+
+    def _loop(self):
+        while True:
+            try:
+                yield self.sim.timeout(self.check_interval)
+            except Interrupt:
+                return
+            now = self.sim.now
+            for entry in self._tracked.values():
+                api = entry["control_plane"].api
+                if api.request_count != entry["last_count"]:
+                    entry["last_count"] = api.request_count
+                    entry["last_activity"] = now
+                    continue
+                idle_for = now - entry["last_activity"]
+                if (idle_for >= self.idle_threshold
+                        and not api.swap_state.swapped):
+                    api.swap_state.swapped = True
+                    api.swap_state.swap_outs += 1
+                    self.swap_out_count += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def total_resident_bytes(self):
+        return sum(
+            control_plane_memory(entry["control_plane"],
+                                 self.residual_fraction)
+            for entry in self._tracked.values()
+        )
+
+    def swapped_count(self):
+        return sum(
+            1 for entry in self._tracked.values()
+            if entry["control_plane"].api.swap_state.swapped
+        )

@@ -1,0 +1,24 @@
+"""The centralized resource syncer."""
+
+from .conversion import tenant_key, tenant_origin, to_super, to_super_pod
+from .reconcilers import DOWNWARD_TYPES, UPWARD_TYPES
+from .scanner import PeriodicScanner
+from .syncer import Syncer, TenantRegistration
+from .tracing import PHASES, PodTrace, TraceStore
+from .vnode import VNodeManager
+
+__all__ = [
+    "DOWNWARD_TYPES",
+    "PHASES",
+    "PeriodicScanner",
+    "PodTrace",
+    "Syncer",
+    "TenantRegistration",
+    "TraceStore",
+    "UPWARD_TYPES",
+    "VNodeManager",
+    "tenant_key",
+    "tenant_origin",
+    "to_super",
+    "to_super_pod",
+]

@@ -1,0 +1,101 @@
+"""Object translation between tenant control planes and the super cluster.
+
+Downward-synced objects land in a super-cluster namespace prefixed with
+the owner VC's name plus a short hash of its UID (paper §III-B(2)), and
+carry annotations recording their tenant origin so upward reconcilers
+and the vn-agent can map them back.
+"""
+
+from ..crd import cluster_prefix, super_namespace
+
+ANNOTATION_VC = "tenancy.x-k8s.io/vc"
+ANNOTATION_TENANT_NAMESPACE = "tenancy.x-k8s.io/tenant-namespace"
+ANNOTATION_TENANT_NAME = "tenancy.x-k8s.io/tenant-name"
+ANNOTATION_TENANT_UID = "tenancy.x-k8s.io/tenant-uid"
+LABEL_MANAGED_BY = "tenancy.x-k8s.io/managed-by"
+MANAGED_BY_VALUE = "vc-syncer"
+
+
+def to_super(obj, vc):
+    """Translate a tenant object into its super-cluster representation."""
+    translated = obj.copy()
+    meta = translated.metadata
+    tenant_namespace = meta.namespace
+    if type(obj).NAMESPACED:
+        meta.namespace = super_namespace(vc, tenant_namespace)
+    else:
+        meta.name = f"{cluster_prefix(vc)}-{meta.name}"
+    meta.uid = None
+    meta.resource_version = None
+    meta.creation_timestamp = None
+    meta.owner_references = []
+    meta.labels = dict(meta.labels or {})
+    meta.labels[LABEL_MANAGED_BY] = MANAGED_BY_VALUE
+    meta.annotations = dict(meta.annotations or {})
+    meta.annotations[ANNOTATION_VC] = vc.key
+    meta.annotations[ANNOTATION_TENANT_NAMESPACE] = tenant_namespace or ""
+    meta.annotations[ANNOTATION_TENANT_NAME] = obj.metadata.name
+    meta.annotations[ANNOTATION_TENANT_UID] = obj.metadata.uid or ""
+    return translated
+
+
+def to_super_pod(pod, vc):
+    """Pods additionally drop the tenant binding — the super scheduler
+    binds the super pod to a physical node."""
+    translated = to_super(pod, vc)
+    translated.spec.node_name = None
+    translated.status = type(pod.status)()
+    return translated
+
+
+def tenant_origin(super_obj):
+    """Return (vc_key, tenant_namespace, tenant_name) or None."""
+    annotations = super_obj.metadata.annotations or {}
+    vc_key = annotations.get(ANNOTATION_VC)
+    if not vc_key:
+        return None
+    return (
+        vc_key,
+        annotations.get(ANNOTATION_TENANT_NAMESPACE) or None,
+        annotations.get(ANNOTATION_TENANT_NAME),
+    )
+
+
+def tenant_key(super_obj):
+    """The tenant-side ``namespace/name`` key of a synced super object."""
+    origin = tenant_origin(super_obj)
+    if origin is None:
+        return None
+    _vc, namespace, name = origin
+    return f"{namespace}/{name}" if namespace else name
+
+
+def is_managed(super_obj):
+    labels = super_obj.metadata.labels or {}
+    return labels.get(LABEL_MANAGED_BY) == MANAGED_BY_VALUE
+
+
+def super_key_for(obj_type, vc, tenant_obj_key):
+    """Map a tenant object key to the super-cluster key."""
+    if "/" in tenant_obj_key:
+        namespace, name = tenant_obj_key.split("/", 1)
+        return f"{super_namespace(vc, namespace)}/{name}"
+    if obj_type.NAMESPACED:
+        raise ValueError(f"namespaced key without namespace: {tenant_obj_key}")
+    return f"{cluster_prefix(vc)}-{tenant_obj_key}"
+
+
+def specs_equivalent(tenant_obj, super_obj, ignore_fields=("nodeName",)):
+    """Compare tenant vs super specs, ignoring syncer-managed fields."""
+    tenant_spec = getattr(tenant_obj, "spec", None)
+    super_spec = getattr(super_obj, "spec", None)
+    if tenant_spec is None or super_spec is None:
+        return True
+    a = tenant_spec.to_dict() if hasattr(tenant_spec, "to_dict") else dict(
+        tenant_spec)
+    b = super_spec.to_dict() if hasattr(super_spec, "to_dict") else dict(
+        super_spec)
+    for field in ignore_fields:
+        a.pop(field, None)
+        b.pop(field, None)
+    return a == b

@@ -1,0 +1,105 @@
+"""Periodic scanner: remediation of permanent state mismatches.
+
+Kubernetes controllers are eventually consistent; rare race/failure
+combinations can leave a synced object permanently inconsistent.  Rather
+than enumerating every failure mode, the syncer periodically scans all
+synchronized objects and re-enqueues any mismatch (paper §III-C).  The
+paper reports scanning 10,000 Pods takes under two seconds with one
+scanning thread per tenant — the cost model here reproduces that.
+"""
+
+from repro.simkernel.errors import Interrupt
+
+from .conversion import is_managed, specs_equivalent, super_key_for, tenant_key
+
+
+
+class PeriodicScanner:
+    """One scanning process per tenant (as in the paper's evaluation)."""
+
+    def __init__(self, syncer, interval=None):
+        self.syncer = syncer
+        self.sim = syncer.sim
+        self.interval = interval or syncer.config.syncer.scan_interval
+        self._processes = {}
+        self.scans_completed = 0
+        self.mismatches_found = 0
+        self.last_scan_duration = 0.0
+        self.objects_scanned_total = 0
+
+    def start_tenant(self, tenant):
+        if tenant in self._processes:
+            return
+        self._processes[tenant] = self.syncer.spawn(
+            self._scan_loop(tenant), name=f"scanner-{tenant}")
+
+    def stop_tenant(self, tenant):
+        process = self._processes.pop(tenant, None)
+        if process is not None:
+            process.interrupt("scanner stopped")
+
+    def stop(self):
+        for tenant in list(self._processes):
+            self.stop_tenant(tenant)
+
+    def _scan_loop(self, tenant):
+        while True:
+            try:
+                yield self.sim.timeout(self.interval)
+                yield from self.scan_tenant(tenant)
+            except Interrupt:
+                return
+
+    def scan_tenant(self, tenant):
+        """Coroutine: one full scan of a tenant's synchronized objects."""
+        registration = self.syncer.tenants.get(tenant)
+        if registration is None:
+            return 0
+        started = self.sim.now
+        cfg = self.syncer.config.syncer
+        vc = registration.vc
+        mismatches = 0
+        scanned = 0
+
+        for plural in self.syncer.downward_plurals_for(tenant):
+            reconciler = (self.syncer.crd_sync.reconciler_for(tenant, plural)
+                          or self.syncer.downward_reconcilers.get(plural))
+            if reconciler is None or reconciler.obj_type is None:
+                continue
+            tenant_cache = self.syncer.tenant_informer(tenant, plural).cache
+            super_cache = self.syncer.super_informer(plural).cache
+
+            # Tenant -> super direction: everything must exist downstream.
+            for obj in tenant_cache.items():
+                scanned += 1
+                yield self.sim.timeout(cfg.scan_per_object)
+                self.syncer.cpu.charge(cfg.scan_per_object, activity="scan")
+                if plural == "namespaces":
+                    continue  # handled by its dedicated reconciler shape
+                skey = super_key_for(reconciler.obj_type, vc, obj.key)
+                super_obj = super_cache.get(skey)
+                if super_obj is None or not specs_equivalent(obj, super_obj):
+                    mismatches += 1
+                    self.syncer.enqueue_downward(tenant, plural, obj.key)
+
+            # Super -> tenant direction: no orphans left behind.
+            for super_obj in super_cache.items():
+                if not is_managed(super_obj):
+                    continue
+                origin_key = tenant_key(super_obj)
+                if origin_key is None:
+                    continue
+                if not self.syncer.owns(tenant, super_obj):
+                    continue
+                scanned += 1
+                yield self.sim.timeout(cfg.scan_per_object)
+                self.syncer.cpu.charge(cfg.scan_per_object, activity="scan")
+                if origin_key not in tenant_cache:
+                    mismatches += 1
+                    self.syncer.enqueue_downward(tenant, plural, origin_key)
+
+        self.scans_completed += 1
+        self.mismatches_found += mismatches
+        self.objects_scanned_total += scanned
+        self.last_scan_duration = self.sim.now - started
+        return mismatches

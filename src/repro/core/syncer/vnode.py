@@ -1,0 +1,148 @@
+"""vNode management (paper §III-C, Fig. 6).
+
+Each virtual node object in a tenant control plane represents a *real*
+physical node of the super cluster, one-to-one — unlike virtual kubelet,
+where many pods collapse onto one synthetic node and scheduling
+constraints like anti-affinity become invisible.  The syncer:
+
+- creates a vNode in a tenant the first time one of its pods is bound to
+  that physical node;
+- tracks pod-to-vNode bindings and removes a vNode once its last pod is
+  gone;
+- broadcasts physical-node heartbeats to every tenant's matching vNode.
+"""
+
+from repro.apiserver.errors import AlreadyExists, ApiError, NotFound
+from repro.simkernel.errors import Interrupt
+
+VNODE_LABEL = "tenancy.x-k8s.io/vnode"
+
+
+class VNodeManager:
+    """Tracks bindings and reconciles vNode objects in tenant CPs."""
+
+    def __init__(self, syncer, heartbeat_interval=10.0):
+        self.syncer = syncer
+        self.sim = syncer.sim
+        self.heartbeat_interval = heartbeat_interval
+        # tenant -> node_name -> set(pod_key)
+        self._bindings = {}
+        # (tenant, node_name) -> True once created in the tenant CP
+        self._created = set()
+        self._heartbeat_process = None
+        self.heartbeats_sent = 0
+
+    # ------------------------------------------------------------------
+    # Binding bookkeeping (called from the upward pod reconciler)
+    # ------------------------------------------------------------------
+
+    def pod_bound(self, tenant, pod_key, node_name):
+        tenant_nodes = self._bindings.setdefault(tenant, {})
+        tenant_nodes.setdefault(node_name, set()).add(pod_key)
+
+    def pod_deleted(self, tenant, pod_key):
+        tenant_nodes = self._bindings.get(tenant, {})
+        for node_name, pods in list(tenant_nodes.items()):
+            if pod_key in pods:
+                pods.discard(pod_key)
+                if not pods:
+                    del tenant_nodes[node_name]
+                    self.syncer.spawn(
+                        self._remove_vnode(tenant, node_name),
+                        name=f"vnode-remove-{tenant}-{node_name}")
+
+    def bound_pods(self, tenant, node_name):
+        return set(self._bindings.get(tenant, {}).get(node_name, ()))
+
+    def vnodes_for(self, tenant):
+        return sorted(self._bindings.get(tenant, {}))
+
+    # ------------------------------------------------------------------
+    # vNode object lifecycle
+    # ------------------------------------------------------------------
+
+    def ensure_vnode(self, tenant, node_name):
+        """Coroutine: create the tenant's vNode for a physical node."""
+        if (tenant, node_name) in self._created:
+            return
+        registration = self.syncer.tenants.get(tenant)
+        if registration is None:
+            return
+        super_node = self.syncer.super_informer("nodes").cache.get_copy(
+            node_name)
+        if super_node is None:
+            return
+        vnode = super_node
+        vnode.metadata.resource_version = None
+        vnode.metadata.uid = None
+        vnode.metadata.labels = dict(vnode.metadata.labels or {})
+        vnode.metadata.labels[VNODE_LABEL] = "true"
+        # The vNode advertises the vn-agent port instead of the kubelet
+        # port, so tenant log/exec requests are intercepted (§III-B(3)).
+        vnode.status.daemon_endpoints = {
+            "kubeletEndpoint": {"Port": self.syncer.vn_agent_port}}
+        self._created.add((tenant, node_name))
+        try:
+            yield from registration.client.create(vnode)
+        except AlreadyExists:
+            pass
+        except ApiError:
+            self._created.discard((tenant, node_name))
+
+    def _remove_vnode(self, tenant, node_name):
+        if self.bound_pods(tenant, node_name):
+            return  # re-bound in the meantime
+        registration = self.syncer.tenants.get(tenant)
+        self._created.discard((tenant, node_name))
+        if registration is None:
+            return
+        try:
+            yield from registration.client.delete("nodes", node_name)
+        except (NotFound, ApiError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Heartbeat broadcast
+    # ------------------------------------------------------------------
+
+    def start(self):
+        self._heartbeat_process = self.syncer.spawn(
+            self._heartbeat_loop(), name="vnode-heartbeats")
+
+    def stop(self):
+        if self._heartbeat_process is not None:
+            self._heartbeat_process.interrupt("vnode manager stopped")
+
+    def _heartbeat_loop(self):
+        cfg = self.syncer.config.syncer
+        while True:
+            try:
+                yield self.sim.timeout(self.heartbeat_interval)
+            except Interrupt:
+                return
+            for tenant, nodes in list(self._bindings.items()):
+                registration = self.syncer.tenants.get(tenant)
+                if registration is None:
+                    continue
+                for node_name in list(nodes):
+                    super_node = self.syncer.super_informer(
+                        "nodes").cache.get_copy(node_name)
+                    if super_node is None:
+                        continue
+                    yield self.sim.timeout(cfg.vnode_heartbeat_write)
+                    self.syncer.cpu.charge(cfg.vnode_heartbeat_write,
+                                           activity="vnode-heartbeat")
+                    try:
+                        vnode = yield from registration.client.get(
+                            "nodes", node_name)
+                    except ApiError:
+                        continue
+                    vnode.status.conditions = [
+                        c.copy() for c in super_node.status.conditions]
+                    for condition in vnode.status.conditions:
+                        condition.last_heartbeat_time = self.sim.now
+                    try:
+                        yield from registration.client.update_status(vnode)
+                        self.heartbeats_sent += 1
+                    except ApiError:
+                        continue

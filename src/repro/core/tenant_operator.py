@@ -1,0 +1,150 @@
+"""Tenant operator: reconciles VirtualCluster objects (paper §III-B(1)).
+
+Watches VC objects in the super cluster and drives tenant control plane
+lifecycles: provisioning (local mode spins up an in-simulation control
+plane; cloud mode models a managed-control-plane provisioning delay),
+storing the tenant kubeconfig in a super-cluster Secret so the syncer can
+reach every tenant, and deprovisioning on VC deletion.
+"""
+
+from repro.apiserver.errors import AlreadyExists, ApiError, NotFound
+from repro.controllers.base import Controller
+from repro.objects import Secret
+
+from .controlplane import TenantControlPlane
+from .crd import VirtualCluster, cluster_prefix
+
+PROVISION_DELAY_LOCAL = 1.5   # etcd + apiserver + kcm pods come up
+PROVISION_DELAY_CLOUD = 20.0  # managed control plane (ACK/EKS) provisioning
+VC_FINALIZER = "tenancy.x-k8s.io/vc-protection"
+
+
+class TenantOperator(Controller):
+    """The VC reconciler."""
+
+    name = "tenant-operator"
+
+    def __init__(self, sim, super_cluster, config, workers=4,
+                 on_provisioned=None, on_deprovisioned=None):
+        client = super_cluster.client(user_agent="tenant-operator")
+        super().__init__(sim, client, workers=workers)
+        self.super_cluster = super_cluster
+        self.config = config
+        self.on_provisioned = on_provisioned
+        self.on_deprovisioned = on_deprovisioned
+        self.control_planes = {}
+        self._vc_informer = super_cluster.informer_factory.informer(
+            "virtualclusters")
+        self._vc_informer.add_handlers(
+            on_add=self.enqueue_object,
+            on_update=lambda old, new: self.enqueue_object(new),
+            on_delete=self.enqueue_object,
+        )
+        # The super cluster's informer factory may already be running; a
+        # freshly-created informer must be started explicitly.
+        if self._vc_informer.reflector._process is None:
+            self._vc_informer.start()
+
+    def reconcile(self, key):
+        vc = self._vc_informer.cache.get_copy(key)
+        if vc is None:
+            yield from self._deprovision(key)
+            return
+        if vc.metadata.deletion_timestamp is not None:
+            yield from self._finalize(vc)
+            return
+        if VC_FINALIZER not in vc.metadata.finalizers:
+            vc.metadata.finalizers.append(VC_FINALIZER)
+            vc = yield from self.client.update(vc)
+        if key in self.control_planes:
+            if not vc.is_running:
+                yield from self._mark_running(vc)
+            return
+        yield from self._provision(vc)
+
+    # ------------------------------------------------------------------
+    # Provision / deprovision
+    # ------------------------------------------------------------------
+
+    def _provision(self, vc):
+        delay = (PROVISION_DELAY_CLOUD if vc.spec.mode == "cloud"
+                 else PROVISION_DELAY_LOCAL)
+        yield self.sim.timeout(delay)
+        control_plane = TenantControlPlane(
+            self.sim, name=cluster_prefix(vc), config=self.config,
+            owner_vc=vc)
+        control_plane.start()
+        self.control_planes[vc.key] = control_plane
+
+        # Persist the tenant kubeconfig in the super cluster so the syncer
+        # (which never lets tenants in the other direction) can reach it.
+        secret = Secret()
+        secret.metadata.name = f"{cluster_prefix(vc)}-kubeconfig"
+        secret.metadata.namespace = vc.namespace
+        secret.string_data = {
+            "cluster": control_plane.name,
+            "user": control_plane.tenant_credential.user,
+            "cert-hash": control_plane.tenant_credential.cert_hash,
+        }
+        try:
+            yield from self.client.create(secret)
+        except AlreadyExists:
+            pass
+
+        yield from self._mark_running(
+            vc, kubeconfig_secret=secret.metadata.name,
+            cert_hash=control_plane.tenant_credential.cert_hash)
+        if self.on_provisioned is not None:
+            self.on_provisioned(vc, control_plane)
+
+    def _mark_running(self, vc, kubeconfig_secret=None, cert_hash=None):
+        try:
+            fresh = yield from self.client.get("virtualclusters", vc.name,
+                                               namespace=vc.namespace)
+        except NotFound:
+            return
+        fresh.status.phase = "Running"
+        if kubeconfig_secret:
+            fresh.status.kubeconfig_secret = kubeconfig_secret
+        if cert_hash:
+            fresh.status.cert_hash = cert_hash
+        fresh.status.control_plane_endpoint = (
+            f"https://{cluster_prefix(vc)}.svc:6443")
+        try:
+            yield from self.client.update_status(fresh)
+        except ApiError:
+            self.enqueue(vc.key)
+
+    def _finalize(self, vc):
+        yield from self._deprovision(vc.key)
+        if VC_FINALIZER in vc.metadata.finalizers:
+            try:
+                fresh = yield from self.client.get(
+                    "virtualclusters", vc.name, namespace=vc.namespace)
+            except NotFound:
+                return
+            fresh.metadata.finalizers = [
+                f for f in fresh.metadata.finalizers if f != VC_FINALIZER]
+            try:
+                yield from self.client.update(fresh)
+            except ApiError:
+                self.enqueue(vc.key)
+
+    def _deprovision(self, key):
+        control_plane = self.control_planes.pop(key, None)
+        if control_plane is None:
+            return
+        yield self.sim.timeout(0.5)
+        control_plane.stop()
+        if self.on_deprovisioned is not None:
+            self.on_deprovisioned(key, control_plane)
+
+    def control_plane_for(self, vc_key):
+        return self.control_planes.get(vc_key)
+
+    def find_vc_by_cert_hash(self, cert_hash):
+        """Used by vn-agent to map a TLS cert to a tenant (paper §III-B(3))."""
+        for vc in self._vc_informer.cache.items():
+            if vc.status.cert_hash == cert_hash:
+                return vc
+        return None

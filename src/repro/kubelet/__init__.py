@@ -1,0 +1,17 @@
+"""kubelet, CRI, and container runtimes."""
+
+from .cri import ContainerHandle, ContainerRuntime, ContainerState, SandboxHandle
+from .kubelet import Kubelet
+from .runtimes.kata import KataAgent, KataRuntime
+from .runtimes.runc import RuncRuntime
+
+__all__ = [
+    "ContainerHandle",
+    "ContainerRuntime",
+    "ContainerState",
+    "KataAgent",
+    "KataRuntime",
+    "Kubelet",
+    "RuncRuntime",
+    "SandboxHandle",
+]

@@ -1,0 +1,6 @@
+"""CRI runtime implementations."""
+
+from .kata import KataAgent, KataRuntime
+from .runc import RuncRuntime
+
+__all__ = ["KataAgent", "KataRuntime", "RuncRuntime"]

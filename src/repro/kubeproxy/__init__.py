@@ -1,0 +1,6 @@
+"""kubeproxy: standard host-iptables proxier and the VPC-aware enhanced one."""
+
+from .enhanced import EnhancedKubeProxy
+from .proxier import KubeProxy
+
+__all__ = ["EnhancedKubeProxy", "KubeProxy"]

@@ -1,0 +1,17 @@
+"""Data-plane substrate: iptables, VPC/ENI, simulated gRPC."""
+
+from .grpc import RpcChannel, RpcError, RpcServer
+from .iptables import IpTables, NatRule
+from .vpc import ConnectivityChecker, Eni, NetworkStack, Vpc
+
+__all__ = [
+    "ConnectivityChecker",
+    "Eni",
+    "IpTables",
+    "NatRule",
+    "NetworkStack",
+    "RpcChannel",
+    "RpcError",
+    "RpcServer",
+    "Vpc",
+]

@@ -1,0 +1,193 @@
+"""Declarative serialization base for Kubernetes-style API objects.
+
+Every API type declares its fields once via :class:`Field`; the base class
+derives the constructor behaviour, ``to_dict``/``from_dict`` (using the
+Kubernetes camelCase wire names), deep copy, and structural equality.  The
+wire format is plain dicts, which is what the simulated etcd stores — just
+like real etcd stores JSON — so no object aliasing can leak between the
+apiserver and its clients.
+"""
+
+
+class Field:
+    """One serializable field of an API type.
+
+    Parameters
+    ----------
+    py_name:
+        Attribute name on the Python object (snake_case).
+    json_name:
+        Wire name (camelCase).  Defaults to ``py_name`` converted to
+        camelCase.
+    type:
+        Optional nested :class:`Serializable` subclass for object fields
+        (or the element type for lists / the value type for maps).
+    container:
+        ``None`` for scalars/objects, ``"list"`` or ``"map"`` for
+        collections.
+    default:
+        Immutable default value.
+    default_factory:
+        Callable producing a default (for mutable defaults).
+    """
+
+    __slots__ = ("py_name", "json_name", "type", "container", "default",
+                 "default_factory")
+
+    def __init__(self, py_name, json_name=None, type=None, container=None,
+                 default=None, default_factory=None):
+        self.py_name = py_name
+        self.json_name = json_name or _to_camel(py_name)
+        self.type = type
+        self.container = container
+        self.default = default
+        self.default_factory = default_factory
+
+    def make_default(self):
+        if self.default_factory is not None:
+            return self.default_factory()
+        return self.default
+
+
+def _to_camel(snake):
+    head, *rest = snake.split("_")
+    return head + "".join(part.capitalize() for part in rest)
+
+
+class Serializable:
+    """Base class implementing serde over a ``FIELDS`` declaration."""
+
+    FIELDS = ()
+
+    def __init__(self, **kwargs):
+        cls = type(self)
+        fields = cls._field_index()
+        for field in fields.values():
+            if field.py_name in kwargs:
+                setattr(self, field.py_name, kwargs.pop(field.py_name))
+            else:
+                setattr(self, field.py_name, field.make_default())
+        if kwargs:
+            unknown = ", ".join(sorted(kwargs))
+            raise TypeError(f"{cls.__name__}: unknown fields: {unknown}")
+
+    @classmethod
+    def _field_index(cls):
+        cached = cls.__dict__.get("_FIELD_INDEX")
+        if cached is None:
+            cached = {}
+            for klass in reversed(cls.__mro__):
+                for field in klass.__dict__.get("FIELDS", ()):
+                    cached[field.py_name] = field
+            cls._FIELD_INDEX = cached
+        return cached
+
+    def to_dict(self):
+        """Serialize to the camelCase wire representation.
+
+        Empty collections are omitted — except when the field's default is
+        non-empty, in which case an explicit empty value is meaningful
+        (e.g. a Namespace whose ``spec.finalizers`` were cleared) and must
+        round-trip rather than resurrect the default.
+        """
+        out = {}
+        for field in self._field_index().values():
+            value = getattr(self, field.py_name)
+            if value is None:
+                continue
+            if field.container == "list":
+                if not value:
+                    if field.default_factory is not None \
+                            and field.default_factory():
+                        out[field.json_name] = []
+                    continue
+                out[field.json_name] = [_dump(item) for item in value]
+            elif field.container == "map":
+                if not value:
+                    if field.default_factory is not None \
+                            and field.default_factory():
+                        out[field.json_name] = {}
+                    continue
+                out[field.json_name] = {k: _dump(v) for k, v in value.items()}
+            else:
+                out[field.json_name] = _dump(value)
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Deserialize from the wire representation (unknown keys ignored)."""
+        if data is None:
+            return None
+        obj = cls.__new__(cls)
+        attrs = obj.__dict__
+        for field in cls._field_index().values():
+            raw = data.get(field.json_name)
+            if raw is None:
+                attrs[field.py_name] = field.make_default()
+            elif field.container == "list":
+                attrs[field.py_name] = [_load(field.type, item)
+                                        for item in raw]
+            elif field.container == "map":
+                attrs[field.py_name] = {
+                    key: _load(field.type, value)
+                    for key, value in raw.items()
+                }
+            else:
+                attrs[field.py_name] = _load(field.type, raw)
+        return obj
+
+    def copy(self):
+        """Deep copy via a wire round-trip."""
+        return type(self).from_dict(self.to_dict())
+
+    def __eq__(self, other):
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self):
+        name = getattr(getattr(self, "metadata", None), "name", None)
+        if name is not None:
+            return f"<{type(self).__name__} {name!r}>"
+        return f"<{type(self).__name__} {self.to_dict()!r}>"
+
+
+def fast_deep_copy(value):
+    """Deep copy of a JSON-shaped value (dicts/lists/scalars).
+
+    Much faster than :func:`copy.deepcopy` for wire dicts, which is what
+    the store and the codecs shuffle around constantly.
+    """
+    if isinstance(value, dict):
+        return {key: fast_deep_copy(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [fast_deep_copy(item) for item in value]
+    return value
+
+
+def _dump(value):
+    if isinstance(value, Serializable):
+        return value.to_dict()
+    if hasattr(value, "to_serialized"):
+        return value.to_serialized()
+    return value
+
+
+def _load(field_type, raw):
+    if field_type is None:
+        # Untyped payloads are copied so a decoded object never aliases
+        # the wire dict it was built from.
+        if type(raw) is dict or type(raw) is list:
+            return fast_deep_copy(raw)
+        return raw
+    if hasattr(field_type, "from_dict") and isinstance(raw, dict):
+        return field_type.from_dict(raw)
+    if hasattr(field_type, "from_serialized"):
+        return field_type.from_serialized(raw)
+    return raw

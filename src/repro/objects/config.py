@@ -1,0 +1,25 @@
+"""Secret and ConfigMap objects (synchronized for Pod provision)."""
+
+from .base import Field
+from .meta import KubeObject
+
+
+class Secret(KubeObject):
+    KIND = "Secret"
+    PLURAL = "secrets"
+
+    FIELDS = (
+        Field("type", default="Opaque"),
+        Field("data", container="map", default_factory=dict),
+        Field("string_data", container="map", default_factory=dict),
+    )
+
+
+class ConfigMap(KubeObject):
+    KIND = "ConfigMap"
+    PLURAL = "configmaps"
+
+    FIELDS = (
+        Field("data", container="map", default_factory=dict),
+        Field("binary_data", container="map", default_factory=dict),
+    )

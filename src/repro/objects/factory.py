@@ -1,0 +1,61 @@
+"""Convenience constructors used throughout tests, examples, and benchmarks."""
+
+from .pod import Affinity, Container, Pod, PodAffinity, PodAffinityTerm
+from .selectors import LabelSelector
+from .service import Service, ServicePort
+
+
+def make_pod(name, namespace="default", image="nginx:1.19", labels=None,
+             cpu=None, memory=None, runtime_class=None, node_name=None,
+             containers=None):
+    """Build a minimal valid Pod."""
+    pod = Pod()
+    pod.metadata.name = name
+    pod.metadata.namespace = namespace
+    pod.metadata.labels = dict(labels or {})
+    if containers is not None:
+        pod.spec.containers = list(containers)
+    else:
+        container = Container(name="main", image=image)
+        if cpu:
+            container.resources.requests["cpu"] = _q(cpu)
+        if memory:
+            container.resources.requests["memory"] = _q(memory)
+        pod.spec.containers = [container]
+    pod.spec.runtime_class_name = runtime_class
+    pod.spec.node_name = node_name
+    return pod
+
+
+def _q(value):
+    from .quantity import Quantity
+
+    return Quantity.parse(value)
+
+
+def make_service(name, namespace="default", selector=None, port=80,
+                 target_port=None, service_type="ClusterIP"):
+    """Build a minimal valid Service."""
+    service = Service()
+    service.metadata.name = name
+    service.metadata.namespace = namespace
+    service.spec.type = service_type
+    service.spec.selector = dict(selector or {})
+    service.spec.ports = [
+        ServicePort(name="main", port=port, target_port=target_port or port)
+    ]
+    return service
+
+
+def with_anti_affinity(pod, label_key, label_value):
+    """Add a hostname-topology anti-affinity term against matching Pods."""
+    term = PodAffinityTerm(
+        label_selector=LabelSelector(match_labels={label_key: label_value}),
+        topology_key="kubernetes.io/hostname",
+    )
+    if pod.spec.affinity is None:
+        pod.spec.affinity = Affinity()
+    if pod.spec.affinity.pod_anti_affinity is None:
+        pod.spec.affinity.pod_anti_affinity = PodAffinity()
+    pod.spec.affinity.pod_anti_affinity.required_terms.append(term)
+    return pod

@@ -1,0 +1,83 @@
+"""Service and Endpoints objects (cluster-IP service discovery)."""
+
+from .base import Field, Serializable
+from .meta import KubeObject
+
+
+class ServicePort(Serializable):
+    FIELDS = (
+        Field("name"),
+        Field("protocol", default="TCP"),
+        Field("port"),
+        Field("target_port"),
+        Field("node_port"),
+    )
+
+
+class ServiceSpec(Serializable):
+    FIELDS = (
+        Field("type", default="ClusterIP"),
+        Field("cluster_ip"),
+        Field("selector", container="map", default_factory=dict),
+        Field("ports", type=ServicePort, container="list",
+              default_factory=list),
+        Field("session_affinity", default="None"),
+    )
+
+
+class ServiceStatus(Serializable):
+    FIELDS = (
+        Field("load_balancer", container="map", default_factory=dict),
+    )
+
+
+class Service(KubeObject):
+    KIND = "Service"
+    PLURAL = "services"
+
+    FIELDS = (
+        Field("spec", type=ServiceSpec, default_factory=ServiceSpec),
+        Field("status", type=ServiceStatus, default_factory=ServiceStatus),
+    )
+
+
+class EndpointAddress(Serializable):
+    FIELDS = (
+        Field("ip"),
+        Field("hostname"),
+        Field("node_name"),
+        Field("target_ref", container="map", default_factory=dict),
+    )
+
+
+class EndpointPort(Serializable):
+    FIELDS = (
+        Field("name"),
+        Field("port"),
+        Field("protocol", default="TCP"),
+    )
+
+
+class EndpointSubset(Serializable):
+    FIELDS = (
+        Field("addresses", type=EndpointAddress, container="list",
+              default_factory=list),
+        Field("not_ready_addresses", type=EndpointAddress, container="list",
+              default_factory=list),
+        Field("ports", type=EndpointPort, container="list",
+              default_factory=list),
+    )
+
+
+class Endpoints(KubeObject):
+    KIND = "Endpoints"
+    PLURAL = "endpoints"
+
+    FIELDS = (
+        Field("subsets", type=EndpointSubset, container="list",
+              default_factory=list),
+    )
+
+    def ready_ips(self):
+        return [addr.ip for subset in self.subsets
+                for addr in subset.addresses]

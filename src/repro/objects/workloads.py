@@ -1,0 +1,74 @@
+"""Workload controllers' objects: Deployment and ReplicaSet."""
+
+from .base import Field, Serializable
+from .meta import KubeObject, ObjectMeta
+from .pod import PodSpec
+from .selectors import LabelSelector
+
+
+class PodTemplateSpec(Serializable):
+    FIELDS = (
+        Field("metadata", type=ObjectMeta, default_factory=ObjectMeta),
+        Field("spec", type=PodSpec, default_factory=PodSpec),
+    )
+
+
+class ReplicaSetSpec(Serializable):
+    FIELDS = (
+        Field("replicas", default=1),
+        Field("selector", type=LabelSelector, default_factory=LabelSelector),
+        Field("template", type=PodTemplateSpec,
+              default_factory=PodTemplateSpec),
+    )
+
+
+class ReplicaSetStatus(Serializable):
+    FIELDS = (
+        Field("replicas", default=0),
+        Field("ready_replicas", default=0),
+        Field("observed_generation", default=0),
+    )
+
+
+class ReplicaSet(KubeObject):
+    API_VERSION = "apps/v1"
+    KIND = "ReplicaSet"
+    PLURAL = "replicasets"
+
+    FIELDS = (
+        Field("spec", type=ReplicaSetSpec, default_factory=ReplicaSetSpec),
+        Field("status", type=ReplicaSetStatus,
+              default_factory=ReplicaSetStatus),
+    )
+
+
+class DeploymentSpec(Serializable):
+    FIELDS = (
+        Field("replicas", default=1),
+        Field("selector", type=LabelSelector, default_factory=LabelSelector),
+        Field("template", type=PodTemplateSpec,
+              default_factory=PodTemplateSpec),
+        Field("strategy", container="map",
+              default_factory=lambda: {"type": "RollingUpdate"}),
+    )
+
+
+class DeploymentStatus(Serializable):
+    FIELDS = (
+        Field("replicas", default=0),
+        Field("ready_replicas", default=0),
+        Field("updated_replicas", default=0),
+        Field("observed_generation", default=0),
+    )
+
+
+class Deployment(KubeObject):
+    API_VERSION = "apps/v1"
+    KIND = "Deployment"
+    PLURAL = "deployments"
+
+    FIELDS = (
+        Field("spec", type=DeploymentSpec, default_factory=DeploymentSpec),
+        Field("status", type=DeploymentStatus,
+              default_factory=DeploymentStatus),
+    )

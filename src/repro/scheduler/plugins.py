@@ -1,0 +1,186 @@
+"""Scheduling predicates (filters) and priorities (scores).
+
+A trimmed-down scheduler framework: each filter plugin can reject a node
+for a pod, each score plugin rates surviving nodes.  Covers the semantics
+the paper's experiments rely on — resource fit, node selector/affinity,
+taints, and required inter-pod (anti-)affinity, which underpins the vNode
+comparison in Fig. 6.
+"""
+
+from repro.objects import Quantity, add_resource_lists, fits_within
+
+
+class FilterPlugin:
+    name = "filter"
+
+    def filter(self, pod, node, snapshot):
+        """Return None to accept the node or a string reason to reject."""
+        raise NotImplementedError
+
+
+class ScorePlugin:
+    name = "score"
+
+    def score(self, pod, node, snapshot):
+        """Return a number; higher is better."""
+        raise NotImplementedError
+
+
+class ClusterSnapshot:
+    """Scheduler's view of nodes and assignments during one cycle."""
+
+    def __init__(self, nodes, pods_by_node, usage_by_node):
+        self.nodes = nodes
+        self.pods_by_node = pods_by_node
+        self.usage_by_node = usage_by_node
+
+    def node_usage(self, node_name):
+        return self.usage_by_node.get(node_name, {})
+
+    def node_pods(self, node_name):
+        return self.pods_by_node.get(node_name, [])
+
+
+class NodeUnschedulable(FilterPlugin):
+    name = "NodeUnschedulable"
+
+    def filter(self, pod, node, snapshot):
+        if node.spec.unschedulable:
+            return "node is unschedulable"
+        return None
+
+
+class NodeReady(FilterPlugin):
+    name = "NodeReady"
+
+    def filter(self, pod, node, snapshot):
+        if not node.status.is_ready:
+            return "node is not ready"
+        return None
+
+
+class NodeResourcesFit(FilterPlugin):
+    name = "NodeResourcesFit"
+
+    def filter(self, pod, node, snapshot):
+        requests = add_resource_lists(
+            pod.spec.total_requests(), {"pods": Quantity.parse(1)})
+        used = snapshot.node_usage(node.metadata.name)
+        allocatable = node.status.allocatable
+        remaining = {}
+        for name, capacity in allocatable.items():
+            remaining[name] = (Quantity.parse(capacity)
+                               - used.get(name, Quantity.zero()))
+        if not fits_within(requests, remaining):
+            return "insufficient resources"
+        return None
+
+
+class NodeSelectorMatch(FilterPlugin):
+    name = "NodeSelector"
+
+    def filter(self, pod, node, snapshot):
+        labels = node.metadata.labels or {}
+        for key, value in (pod.spec.node_selector or {}).items():
+            if labels.get(key) != value:
+                return f"node selector {key}={value} not satisfied"
+        affinity = pod.spec.affinity
+        if affinity and affinity.node_affinity:
+            if not affinity.node_affinity.matches(labels):
+                return "node affinity not satisfied"
+        return None
+
+
+class TaintToleration(FilterPlugin):
+    name = "TaintToleration"
+
+    def filter(self, pod, node, snapshot):
+        for taint in node.spec.taints:
+            if taint.effect not in ("NoSchedule", "NoExecute"):
+                continue
+            if not any(tol.tolerates(taint) for tol in pod.spec.tolerations):
+                return f"untolerated taint {taint.key}"
+        return None
+
+
+class InterPodAffinity(FilterPlugin):
+    """Required pod affinity and anti-affinity over topology domains.
+
+    Only the hostname topology key is modelled, which matches the
+    anti-affinity scenario the paper uses to contrast vNodes with virtual
+    kubelet (Fig. 6).
+    """
+
+    name = "InterPodAffinity"
+
+    def filter(self, pod, node, snapshot):
+        node_pods = snapshot.node_pods(node.metadata.name)
+        anti = self._terms(pod, anti=True)
+        for term in anti:
+            if self._any_match(term, node_pods, pod.namespace):
+                return "anti-affinity conflict"
+        required = self._terms(pod, anti=False)
+        for term in required:
+            if not self._any_match(term, node_pods, pod.namespace):
+                return "pod affinity not satisfied"
+        return None
+
+    def _terms(self, pod, anti):
+        affinity = pod.spec.affinity
+        if affinity is None:
+            return []
+        block = affinity.pod_anti_affinity if anti else affinity.pod_affinity
+        if block is None:
+            return []
+        return [term for term in block.required_terms
+                if term.topology_key == "kubernetes.io/hostname"]
+
+    def _any_match(self, term, node_pods, namespace):
+        namespaces = term.namespaces or [namespace]
+        for other in node_pods:
+            if other.namespace not in namespaces:
+                continue
+            if term.label_selector.matches(other.metadata.labels):
+                return True
+        return False
+
+
+class LeastAllocated(ScorePlugin):
+    """Prefer nodes with the most free CPU fraction (spreads load)."""
+
+    name = "LeastAllocated"
+
+    def score(self, pod, node, snapshot):
+        allocatable = node.status.allocatable.get("cpu")
+        if not allocatable:
+            return 0.0
+        used = snapshot.node_usage(node.metadata.name).get(
+            "cpu", Quantity.zero())
+        total = Quantity.parse(allocatable).milli
+        if total <= 0:
+            return 0.0
+        return 1.0 - (used.milli / total)
+
+
+class BalancedPodCount(ScorePlugin):
+    """Prefer nodes with fewer pods (tie-breaker for request-less pods)."""
+
+    name = "BalancedPodCount"
+
+    def score(self, pod, node, snapshot):
+        return -len(snapshot.node_pods(node.metadata.name))
+
+
+def default_filters():
+    return [
+        NodeUnschedulable(),
+        NodeReady(),
+        NodeResourcesFit(),
+        NodeSelectorMatch(),
+        TaintToleration(),
+        InterPodAffinity(),
+    ]
+
+
+def default_scorers():
+    return [LeastAllocated(), BalancedPodCount()]

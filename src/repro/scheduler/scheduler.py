@@ -1,0 +1,223 @@
+"""The default scheduler: single queue, sequential scheduling.
+
+The paper's measured scalability bottleneck: "The default Kubernetes
+scheduler has a single queue, and it schedules Pod sequentially.
+Therefore, we have seen the scheduler throughput peaked at a few hundred
+Pods per second" (§IV-A).  The per-pod service time in
+:class:`~repro.config.SchedulerLatency` is calibrated to exactly that
+regime, and the sequential loop means backlog builds under burst load —
+which produces the Super-Sched phase delays of Fig. 8 / Table I.
+"""
+
+from repro.apiserver.errors import ApiError, Conflict, NotFound
+from repro.clientgo import WorkQueue
+from repro.objects import Quantity, add_resource_lists
+from repro.simkernel.errors import Interrupt
+
+from .plugins import ClusterSnapshot, default_filters, default_scorers
+
+
+class SchedulingFailure(Exception):
+    """No node survived the filter plugins."""
+
+    def __init__(self, pod_key, reasons):
+        super().__init__(f"pod {pod_key}: 0/{len(reasons)} nodes available")
+        self.reasons = reasons
+
+
+class Scheduler:
+    """Watches unscheduled pods and binds them to nodes, one at a time."""
+
+    def __init__(self, sim, client, informer_factory, config,
+                 filters=None, scorers=None, name="default-scheduler",
+                 recorder=None):
+        from repro.clientgo.events import EventRecorder
+
+        self.sim = sim
+        self.client = client
+        self.config = config
+        self.name = name
+        self.recorder = recorder or EventRecorder(sim, client, name)
+        self.filters = filters if filters is not None else default_filters()
+        self.scorers = scorers if scorers is not None else default_scorers()
+        self.queue = WorkQueue(sim, name=f"{name}-queue")
+        self._pod_informer = informer_factory.informer("pods")
+        self._node_informer = informer_factory.informer("nodes")
+        self._pods_by_node = {}
+        self._usage_by_node = {}
+        self._assignments = {}
+        self.scheduled_count = 0
+        self.failed_count = 0
+        self.schedule_latency_total = 0.0
+        self._stopped = False
+        self._workers = []
+
+        self._pod_informer.add_handlers(
+            on_add=self._on_pod_add,
+            on_update=self._on_pod_update,
+            on_delete=self._on_pod_delete,
+        )
+
+    # ------------------------------------------------------------------
+    # Informer handlers
+    # ------------------------------------------------------------------
+
+    def _on_pod_add(self, pod):
+        if pod.spec.node_name:
+            self._track_assignment(pod)
+        elif not pod.is_terminal:
+            self.queue.add(pod.key)
+
+    def _on_pod_update(self, old, pod):
+        if pod.spec.node_name:
+            self._track_assignment(pod)
+        elif not pod.is_terminal:
+            self.queue.add(pod.key)
+
+    def _on_pod_delete(self, pod):
+        self._untrack_assignment(pod.key)
+
+    def _track_assignment(self, pod):
+        previous = self._assignments.get(pod.key)
+        if previous == pod.spec.node_name:
+            return
+        if previous is not None:
+            self._untrack_assignment(pod.key)
+        node = pod.spec.node_name
+        self._assignments[pod.key] = node
+        self._pods_by_node.setdefault(node, {})[pod.key] = pod
+        requests = add_resource_lists(
+            pod.spec.total_requests(), {"pods": Quantity.parse(1)})
+        self._usage_by_node[node] = add_resource_lists(
+            self._usage_by_node.get(node, {}), requests)
+
+    def _untrack_assignment(self, pod_key):
+        node = self._assignments.pop(pod_key, None)
+        if node is None:
+            return
+        pod = self._pods_by_node.get(node, {}).pop(pod_key, None)
+        if pod is not None:
+            requests = add_resource_lists(
+                pod.spec.total_requests(), {"pods": Quantity.parse(1)})
+            usage = self._usage_by_node.get(node, {})
+            for name, quantity in requests.items():
+                if name in usage:
+                    usage[name] = usage[name] - quantity
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def start(self):
+        worker = self.sim.spawn(self._run(), name=f"{self.name}-loop")
+        self._workers.append(worker)
+        return worker
+
+    def stop(self):
+        self._stopped = True
+        self.queue.shutdown()
+        for worker in self._workers:
+            worker.interrupt("scheduler stopped")
+
+    def _run(self):
+        while not self._stopped:
+            try:
+                pod_key, enqueued_at = yield self.queue.get()
+            except Interrupt:
+                return
+            except Exception:
+                return
+            try:
+                yield from self._schedule_one(pod_key, enqueued_at)
+            except Interrupt:
+                return
+            finally:
+                self.queue.done(pod_key)
+
+    def _schedule_one(self, pod_key, enqueued_at):
+        pod = self._pod_informer.cache.get_copy(pod_key)
+        if pod is None or pod.spec.node_name or pod.is_terminal:
+            return
+        cfg = self.config.scheduler
+        jitter = self.sim.rng.uniform(-cfg.service_jitter,
+                                      cfg.service_jitter)
+        yield self.sim.timeout(max(0.0, cfg.service_time + jitter))
+
+        snapshot = ClusterSnapshot(
+            self._node_informer.cache.items(),
+            {node: list(pods.values())
+             for node, pods in self._pods_by_node.items()},
+            self._usage_by_node,
+        )
+        chosen, reasons = self._select_node(pod, snapshot)
+        if chosen is None:
+            self.failed_count += 1
+            yield from self._record_failure(pod, reasons)
+            return
+        # Assume the pod onto the node and bind asynchronously, like the
+        # real scheduler: the sequential loop moves on immediately.
+        assumed = pod.copy()
+        assumed.spec.node_name = chosen.metadata.name
+        self._track_assignment(assumed)
+        self.sim.spawn(
+            self._bind_async(pod, chosen.metadata.name, pod_key,
+                             enqueued_at),
+            name=f"bind-{pod_key}")
+
+    def _bind_async(self, pod, node_name, pod_key, enqueued_at):
+        try:
+            yield from self.client.bind_pod(pod.name, pod.namespace,
+                                            node_name)
+        except (Conflict, NotFound):
+            self._untrack_assignment(pod_key)
+            return
+        except ApiError:
+            self._untrack_assignment(pod_key)
+            self.queue.add(pod_key)
+            return
+        self.scheduled_count += 1
+        self.schedule_latency_total += self.sim.now - enqueued_at
+
+    def _select_node(self, pod, snapshot):
+        feasible = []
+        reasons = {}
+        for node in snapshot.nodes:
+            rejection = None
+            for plugin in self.filters:
+                rejection = plugin.filter(pod, node, snapshot)
+                if rejection is not None:
+                    reasons[node.metadata.name] = rejection
+                    break
+            if rejection is None:
+                feasible.append(node)
+        if not feasible:
+            return None, reasons
+        best = None
+        best_score = None
+        for node in feasible:
+            score = sum(plugin.score(pod, node, snapshot)
+                        for plugin in self.scorers)
+            if best_score is None or score > best_score:
+                best = node
+                best_score = score
+        return best, reasons
+
+    def _record_failure(self, pod, reasons):
+        """Mark the pod unschedulable and retry later."""
+        summary = "; ".join(sorted(set(reasons.values()))) or "no nodes"
+        self.recorder.event(pod, "FailedScheduling", summary,
+                            event_type="Warning")
+        pod.status.set_condition(
+            "PodScheduled", "False", reason="Unschedulable",
+            message=summary,
+            now=self.sim.now)
+        try:
+            yield from self.client.update_status(pod)
+        except ApiError:
+            pass
+
+        def retry(key=pod.key):
+            yield self.sim.timeout(1.0)
+            self.queue.add(key)
+
+        self.sim.spawn(retry(), name="sched-retry")

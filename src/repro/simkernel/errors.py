@@ -1,0 +1,32 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class StopSimulation(SimError):
+    """Raised internally to stop :meth:`Simulation.run` early."""
+
+
+class Interrupt(SimError):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party may attach an arbitrary ``cause`` explaining
+    why the interrupt happened (e.g. "pod deleted").
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self):
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class EventAlreadyTriggered(SimError):
+    """An event was succeeded or failed more than once."""
+
+
+class SimulationDeadlock(SimError):
+    """``run(until_done=True)`` found live processes but no scheduled events."""

@@ -1,0 +1,111 @@
+"""Metric recording for simulated components.
+
+Provides counters, gauges, timestamped sample series, and fixed-bucket
+histograms — enough to regenerate every figure and table in the paper.
+"""
+
+import math
+from collections import defaultdict
+
+
+class Histogram:
+    """A histogram over explicit bucket upper bounds (plus +inf overflow)."""
+
+    def __init__(self, bounds):
+        self.bounds = sorted(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self._samples = []
+
+    def observe(self, value):
+        self.total += 1
+        self.sum += value
+        self._samples.append(value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self):
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, pct):
+        """Exact percentile over recorded samples (pct in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if pct <= 0:
+            return ordered[0]
+        if pct >= 100:
+            return ordered[-1]
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def samples(self):
+        return list(self._samples)
+
+    def bucket_counts(self):
+        """List of ((low, high), count) pairs, high=None for overflow."""
+        out = []
+        low = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            out.append(((low, bound), count))
+            low = bound
+        out.append(((low, None), self.counts[-1]))
+        return out
+
+
+class SampleSeries:
+    """Timestamped (t, value) samples, e.g. memory usage over time."""
+
+    def __init__(self):
+        self.points = []
+
+    def record(self, t, value):
+        self.points.append((t, value))
+
+    @property
+    def peak(self):
+        return max((v for _t, v in self.points), default=0.0)
+
+    @property
+    def last(self):
+        return self.points[-1][1] if self.points else 0.0
+
+
+class MetricsRegistry:
+    """Per-simulation registry of named metrics."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.counters = defaultdict(float)
+        self.gauges = {}
+        self.series = defaultdict(SampleSeries)
+        self.histograms = {}
+
+    def inc(self, name, amount=1.0):
+        self.counters[name] += amount
+
+    def set_gauge(self, name, value):
+        self.gauges[name] = value
+
+    def sample(self, name, value):
+        self.series[name].record(self.sim.now, value)
+
+    def histogram(self, name, bounds=None):
+        if name not in self.histograms:
+            if bounds is None:
+                bounds = [0.5, 1, 2, 4, 6, 8, 10, 15, 20, 30, 60]
+            self.histograms[name] = Histogram(bounds)
+        return self.histograms[name]
+
+    def observe(self, name, value, bounds=None):
+        self.histogram(name, bounds).observe(value)

@@ -1,0 +1,23 @@
+"""etcd-like MVCC storage for control planes."""
+
+from .errors import (
+    KeyAlreadyExists,
+    KeyNotFound,
+    RevisionCompacted,
+    RevisionConflict,
+    StorageError,
+)
+from .etcd import EVENT_DELETE, EVENT_PUT, EtcdStore, Watch, WatchEvent
+
+__all__ = [
+    "EVENT_DELETE",
+    "EVENT_PUT",
+    "EtcdStore",
+    "KeyAlreadyExists",
+    "KeyNotFound",
+    "RevisionCompacted",
+    "RevisionConflict",
+    "StorageError",
+    "Watch",
+    "WatchEvent",
+]

@@ -1,0 +1,44 @@
+"""Storage-layer errors, mirroring etcd/apiserver failure modes."""
+
+
+class StorageError(Exception):
+    """Base class for storage errors."""
+
+
+class KeyNotFound(StorageError):
+    """Read/update/delete of a key that does not exist."""
+
+    def __init__(self, key):
+        super().__init__(f"key not found: {key}")
+        self.key = key
+
+
+class KeyAlreadyExists(StorageError):
+    """Create of a key that already exists."""
+
+    def __init__(self, key):
+        super().__init__(f"key already exists: {key}")
+        self.key = key
+
+
+class RevisionConflict(StorageError):
+    """Compare-and-swap failed: the stored revision moved."""
+
+    def __init__(self, key, expected, actual):
+        super().__init__(
+            f"conflict on {key}: expected revision {expected}, found {actual}"
+        )
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+
+class RevisionCompacted(StorageError):
+    """A watch asked to start from an already-compacted revision."""
+
+    def __init__(self, requested, compacted):
+        super().__init__(
+            f"revision {requested} compacted (oldest available {compacted})"
+        )
+        self.requested = requested
+        self.compacted = compacted

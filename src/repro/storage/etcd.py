@@ -1,0 +1,269 @@
+"""An etcd-like MVCC key-value store.
+
+Provides exactly the semantics the Kubernetes apiserver depends on:
+
+- a single monotonically-increasing revision counter shared by all keys;
+- per-key ``mod_revision`` recorded on every write;
+- compare-and-swap updates (optimistic concurrency);
+- prefix range reads;
+- watches that can replay history from a given revision and then stream
+  live events, failing with :class:`RevisionCompacted` when the requested
+  start revision has been compacted away.
+
+Values are plain dicts (the wire form of API objects).  The store always
+deep-copies values in and out, like a real store serializes to bytes, so
+callers can never alias stored state.
+"""
+
+from repro.objects.base import fast_deep_copy
+
+from .errors import (
+    KeyAlreadyExists,
+    KeyNotFound,
+    RevisionCompacted,
+    RevisionConflict,
+)
+
+EVENT_PUT = "PUT"
+EVENT_DELETE = "DELETE"
+
+
+class StoredValue:
+    """A value plus its MVCC bookkeeping."""
+
+    __slots__ = ("value", "create_revision", "mod_revision", "version")
+
+    def __init__(self, value, create_revision, mod_revision, version):
+        self.value = value
+        self.create_revision = create_revision
+        self.mod_revision = mod_revision
+        self.version = version
+
+
+class WatchEvent:
+    """One change notification."""
+
+    __slots__ = ("type", "key", "value", "revision", "prev_value")
+
+    def __init__(self, type, key, value, revision, prev_value=None):
+        self.type = type
+        self.key = key
+        self.value = value
+        self.revision = revision
+        self.prev_value = prev_value
+
+    def __repr__(self):
+        return f"<WatchEvent {self.type} {self.key} @{self.revision}>"
+
+
+class Watch:
+    """A registered watcher; events arrive on :attr:`channel`.
+
+    ``predicate`` (on the raw :class:`WatchEvent`) filters events at emit
+    time — this is how the apiserver implements server-side field/label
+    selector filtering for watches, so a kubelet watching
+    ``spec.nodeName=node-7`` never receives other nodes' pod events.
+    """
+
+    def __init__(self, store, prefix, channel, predicate=None):
+        self.store = store
+        self.prefix = prefix
+        self.channel = channel
+        self.predicate = predicate
+        self.cancelled = False
+
+    def wants(self, event):
+        if not event.key.startswith(self.prefix):
+            return False
+        return self.predicate is None or self.predicate(event)
+
+    def cancel(self):
+        if not self.cancelled:
+            self.cancelled = True
+            self.store._watches.discard(self)
+            self.channel.close()
+
+
+class EtcdStore:
+    """The MVCC store.
+
+    ``history_limit`` bounds how many events are kept for watch replay;
+    older events are compacted (watches starting before the compaction
+    revision fail, as in real etcd).
+    """
+
+    def __init__(self, sim, name="etcd", history_limit=100000):
+        self.sim = sim
+        self.name = name
+        self._data = {}
+        # Secondary index: keys bucketed by their first two path segments
+        # (e.g. "/registry/pods"), so per-resource range reads don't scan
+        # the whole keyspace.
+        self._buckets = {}
+        self._revision = 0
+        self._history = []
+        self._compacted_revision = 0
+        self._history_limit = history_limit
+        self._watches = set()
+
+    @staticmethod
+    def _bucket_of(key):
+        parts = key.split("/", 3)
+        return "/".join(parts[:3])
+
+    def _index_add(self, key):
+        self._buckets.setdefault(self._bucket_of(key), set()).add(key)
+
+    def _index_remove(self, key):
+        bucket = self._buckets.get(self._bucket_of(key))
+        if bucket is not None:
+            bucket.discard(key)
+
+    def _keys_under(self, prefix):
+        keys = self._buckets.get(self._bucket_of(prefix), ())
+        return sorted(k for k in keys if k.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    # Basic KV operations (synchronous; latency is charged by the caller)
+    # ------------------------------------------------------------------
+
+    @property
+    def revision(self):
+        return self._revision
+
+    def create(self, key, value):
+        """Insert a new key; fails if present. Returns the new revision."""
+        if key in self._data:
+            raise KeyAlreadyExists(key)
+        self._revision += 1
+        stored = StoredValue(fast_deep_copy(value), self._revision,
+                             self._revision, 1)
+        self._data[key] = stored
+        self._index_add(key)
+        self._emit(WatchEvent(EVENT_PUT, key, fast_deep_copy(value),
+                              self._revision))
+        return self._revision
+
+    def get(self, key):
+        """Return (value, mod_revision); raises KeyNotFound."""
+        stored = self._data.get(key)
+        if stored is None:
+            raise KeyNotFound(key)
+        return fast_deep_copy(stored.value), stored.mod_revision
+
+    def try_get(self, key):
+        """Like :meth:`get` but returns (None, 0) for a missing key."""
+        stored = self._data.get(key)
+        if stored is None:
+            return None, 0
+        return fast_deep_copy(stored.value), stored.mod_revision
+
+    def update(self, key, value, expected_revision=None):
+        """Replace a key's value, optionally as a CAS on mod_revision."""
+        stored = self._data.get(key)
+        if stored is None:
+            raise KeyNotFound(key)
+        if (expected_revision is not None
+                and stored.mod_revision != expected_revision):
+            raise RevisionConflict(key, expected_revision,
+                                   stored.mod_revision)
+        self._revision += 1
+        prev = stored.value
+        stored.value = fast_deep_copy(value)
+        stored.mod_revision = self._revision
+        stored.version += 1
+        self._emit(WatchEvent(EVENT_PUT, key, fast_deep_copy(value),
+                              self._revision, prev_value=fast_deep_copy(prev)))
+        return self._revision
+
+    def delete(self, key, expected_revision=None):
+        """Remove a key, optionally as a CAS on mod_revision."""
+        stored = self._data.get(key)
+        if stored is None:
+            raise KeyNotFound(key)
+        if (expected_revision is not None
+                and stored.mod_revision != expected_revision):
+            raise RevisionConflict(key, expected_revision,
+                                   stored.mod_revision)
+        self._revision += 1
+        del self._data[key]
+        self._index_remove(key)
+        self._emit(WatchEvent(EVENT_DELETE, key,
+                              fast_deep_copy(stored.value), self._revision))
+        return self._revision
+
+    def list_prefix(self, prefix):
+        """All (key, value, mod_revision) under a prefix, plus the revision.
+
+        Returns ``(items, revision)`` — the revision is the store revision
+        at list time, which list+watch reflectors use as their start point.
+        """
+        items = []
+        for key in self._keys_under(prefix):
+            stored = self._data[key]
+            items.append((key, fast_deep_copy(stored.value),
+                          stored.mod_revision))
+        return items, self._revision
+
+    def count_prefix(self, prefix):
+        return len(self._keys_under(prefix))
+
+    # ------------------------------------------------------------------
+    # Watch
+    # ------------------------------------------------------------------
+
+    def watch(self, prefix, from_revision=None, channel_factory=None,
+              predicate=None):
+        """Register a watch on a key prefix.
+
+        When ``from_revision`` is given, history events after that revision
+        are replayed into the channel first; raises
+        :class:`RevisionCompacted` when they are no longer available.
+        """
+        from repro.simkernel.resources import Channel
+
+        factory = channel_factory or (lambda: Channel(self.sim,
+                                                      name=f"watch:{prefix}"))
+        channel = factory()
+        watch = Watch(self, prefix, channel, predicate=predicate)
+        if from_revision is not None and from_revision < self._revision:
+            if from_revision < self._compacted_revision:
+                raise RevisionCompacted(from_revision,
+                                        self._compacted_revision)
+            for event in self._history:
+                if event.revision > from_revision and watch.wants(event):
+                    channel.try_put(event)
+        self._watches.add(watch)
+        return watch
+
+    def _emit(self, event):
+        self._history.append(event)
+        if len(self._history) > self._history_limit:
+            self.compact(keep=self._history_limit // 2)
+        for watch in list(self._watches):
+            if watch.wants(event):
+                watch.channel.try_put(event)
+
+    def compact(self, keep=1000):
+        """Drop history older than the last ``keep`` events."""
+        if len(self._history) > keep:
+            dropped = self._history[:-keep] if keep else self._history
+            if dropped:
+                self._compacted_revision = dropped[-1].revision
+            self._history = self._history[-keep:] if keep else []
+
+    # ------------------------------------------------------------------
+    # Introspection / memory accounting
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._data)
+
+    def stats(self):
+        return {
+            "keys": len(self._data),
+            "revision": self._revision,
+            "history": len(self._history),
+            "watches": len(self._watches),
+            "compacted_revision": self._compacted_revision,
+        }

@@ -1,0 +1,19 @@
+"""Workload generation and stress harnesses for the evaluation."""
+
+from .loadgen import LoadGenerator, TenantLoadPattern, even_split
+from .stress import (
+    StressResult,
+    run_baseline_stress,
+    run_fairness_stress,
+    run_vc_stress,
+)
+
+__all__ = [
+    "LoadGenerator",
+    "StressResult",
+    "TenantLoadPattern",
+    "even_split",
+    "run_baseline_stress",
+    "run_fairness_stress",
+    "run_vc_stress",
+]

@@ -1,0 +1,92 @@
+"""Load generation for the paper's stress experiments (§IV).
+
+The generator creates large numbers of Pods "simultaneously in all tenant
+control planes" (VC runs) or directly in the super cluster with one
+submission thread per tenant (baseline runs).  The aggregate submission
+rate is fixed regardless of tenant count, matching the paper's
+observation that latency depends on the number of Pods, not tenants.
+"""
+
+from repro.apiserver.errors import ApiError
+from repro.objects import make_pod
+
+
+class TenantLoadPattern:
+    """How one tenant submits its Pods.
+
+    ``mode="paced"``  — sequential creates at ``rate`` Pods/s;
+    ``mode="burst"``  — all creates issued concurrently (greedy tenant);
+    ``mode="sequential"`` — create, wait for server ack, create next
+    (the paper's "regular user" in the fairness experiment).
+    """
+
+    def __init__(self, count, mode="paced", rate=10.0, namespace="default",
+                 name_prefix="load"):
+        self.count = count
+        self.mode = mode
+        self.rate = rate
+        self.namespace = namespace
+        self.name_prefix = name_prefix
+
+
+class LoadGenerator:
+    """Drives pod creation against tenant control planes or the super."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.submitted = 0
+        self.errors = 0
+        self.first_submit = None
+        self.last_submit = None
+
+    # ------------------------------------------------------------------
+    # Submission drivers
+    # ------------------------------------------------------------------
+
+    def run_tenant_load(self, client, pattern):
+        """Coroutine: submit one tenant's Pods per its pattern."""
+        if pattern.mode == "burst":
+            done = []
+            for index in range(pattern.count):
+                self.sim.spawn(
+                    self._create_one(client, pattern, index, done),
+                    name=f"burst-{pattern.name_prefix}-{index}")
+            while len(done) < pattern.count:
+                yield self.sim.timeout(0.05)
+            return
+        interval = 1.0 / pattern.rate if pattern.rate else 0.0
+        for index in range(pattern.count):
+            yield from self._create_one(client, pattern, index, None)
+            if pattern.mode == "paced" and interval:
+                yield self.sim.timeout(interval)
+
+    def _create_one(self, client, pattern, index, done):
+        pod = make_pod(f"{pattern.name_prefix}-{index:05d}",
+                       namespace=pattern.namespace,
+                       labels={"app": pattern.name_prefix})
+        try:
+            yield from client.create(pod)
+            self.submitted += 1
+            if self.first_submit is None:
+                self.first_submit = self.sim.now
+            self.last_submit = self.sim.now
+        except ApiError:
+            self.errors += 1
+        finally:
+            if done is not None:
+                done.append(index)
+
+    def run_all(self, jobs):
+        """Coroutine: run (client, pattern) jobs concurrently; wait for all."""
+        processes = [
+            self.sim.spawn(self.run_tenant_load(client, pattern),
+                           name=f"loadgen-{i}")
+            for i, (client, pattern) in enumerate(jobs)
+        ]
+        yield self.sim.all_of(processes)
+
+
+def even_split(total, parts):
+    """Split ``total`` into ``parts`` near-equal integers summing to total."""
+    base, remainder = divmod(total, parts)
+    return [base + (1 if i < remainder else 0) for i in range(parts)]

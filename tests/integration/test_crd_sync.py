@@ -1,0 +1,156 @@
+"""CRD synchronization (§V future work #1, implemented here).
+
+A tenant installs a CRD in its own control plane; the super-cluster
+administrator allowlists it for synchronization; custom objects then flow
+downward like built-in resources — enabling super-cluster scheduler
+extensions to act on them.
+"""
+
+import pytest
+
+from repro.apiserver import NotFound
+from repro.core.crd import super_namespace
+from repro.core.syncer.crd_sync import CrdSyncError
+from repro.objects import CustomResourceDefinition
+
+
+def _install_crd(env, tenant, group="acme.io", kind="TrainingJob",
+                 plural="trainingjobs"):
+    crd = CustomResourceDefinition()
+    crd.metadata.name = f"{plural}.{group}"
+    crd.spec.group = group
+    crd.spec.names.kind = kind
+    crd.spec.names.plural = plural
+    env.run_coroutine(tenant.client.create(crd))
+    custom_type = tenant.control_plane.api.registry.register_crd(crd)
+    return crd, custom_type
+
+
+class TestCrdSync:
+    def test_custom_objects_sync_downward(self, env, tenant):
+        crd, custom_type = _install_crd(env, tenant)
+        env.syncer.enable_crd_sync(tenant.key, crd)
+
+        job = custom_type()
+        job.metadata.name = "train-1"
+        job.metadata.namespace = "default"
+        job.spec = {"gpus": 8, "framework": "torch"}
+        env.run_coroutine(tenant.client.create(job))
+
+        admin = env.super_admin_client()
+        sns = super_namespace(tenant.vc, "default")
+
+        def synced():
+            try:
+                obj = env.run_coroutine(admin.get("trainingjobs", "train-1",
+                                                  namespace=sns))
+                return obj.spec.get("gpus") == 8
+            except NotFound:
+                return False
+
+        env.run_until(synced, timeout=60)
+
+    def test_custom_object_delete_propagates(self, env, tenant):
+        crd, custom_type = _install_crd(env, tenant)
+        env.syncer.enable_crd_sync(tenant.key, crd)
+        job = custom_type()
+        job.metadata.name = "ephemeral"
+        job.metadata.namespace = "default"
+        job.spec = {"gpus": 1}
+        env.run_coroutine(tenant.client.create(job))
+        admin = env.super_admin_client()
+        sns = super_namespace(tenant.vc, "default")
+
+        def synced():
+            try:
+                env.run_coroutine(admin.get("trainingjobs", "ephemeral",
+                                            namespace=sns))
+                return True
+            except NotFound:
+                return False
+
+        env.run_until(synced, timeout=60)
+        env.run_coroutine(tenant.client.delete("trainingjobs", "ephemeral",
+                                               namespace="default"))
+
+        def gone():
+            try:
+                env.run_coroutine(admin.get("trainingjobs", "ephemeral",
+                                            namespace=sns))
+                return False
+            except NotFound:
+                return True
+
+        env.run_until(gone, timeout=60)
+
+    def test_unsynced_crd_objects_stay_tenant_local(self, env, tenant):
+        _crd, custom_type = _install_crd(env, tenant, plural="secretjobs",
+                                         kind="SecretJob")
+        # Note: sync NOT enabled.
+        job = custom_type()
+        job.metadata.name = "local-only"
+        job.metadata.namespace = "default"
+        env.run_coroutine(tenant.client.create(job))
+        env.run_for(10)
+        assert not env.super_cluster.api.registry.has("secretjobs")
+
+    def test_scanner_covers_synced_crds(self, env, tenant):
+        crd, custom_type = _install_crd(env, tenant)
+        env.syncer.enable_crd_sync(tenant.key, crd)
+        job = custom_type()
+        job.metadata.name = "resilient"
+        job.metadata.namespace = "default"
+        job.spec = {"gpus": 2}
+        env.run_coroutine(tenant.client.create(job))
+        admin = env.super_admin_client()
+        sns = super_namespace(tenant.vc, "default")
+
+        def synced():
+            try:
+                env.run_coroutine(admin.get("trainingjobs", "resilient",
+                                            namespace=sns))
+                return True
+            except NotFound:
+                return False
+
+        env.run_until(synced, timeout=60)
+        # Remove the super copy behind the syncer's back.
+        env.run_coroutine(admin.delete("trainingjobs", "resilient",
+                                       namespace=sns))
+        env.run_until(synced, timeout=60)  # scanner resurrects it
+
+    def test_conflicting_kind_rejected(self, env, two_tenants):
+        a, b = two_tenants
+        crd_a, _ = _install_crd(env, a, kind="Widget", plural="widgets")
+        env.syncer.enable_crd_sync(a.key, crd_a)
+        crd_b, _ = _install_crd(env, b, kind="Gadget", plural="widgets")
+        with pytest.raises(CrdSyncError):
+            env.syncer.enable_crd_sync(b.key, crd_b)
+
+    def test_same_crd_shared_by_two_tenants(self, env, two_tenants):
+        a, b = two_tenants
+        crd_a, type_a = _install_crd(env, a)
+        crd_b, type_b = _install_crd(env, b)
+        env.syncer.enable_crd_sync(a.key, crd_a)
+        env.syncer.enable_crd_sync(b.key, crd_b)
+        for tenant, custom_type in ((a, type_a), (b, type_b)):
+            job = custom_type()
+            job.metadata.name = "shared-name"
+            job.metadata.namespace = "default"
+            env.run_coroutine(tenant.client.create(job))
+        admin = env.super_admin_client()
+
+        def both_synced():
+            found = 0
+            for tenant in (a, b):
+                sns = super_namespace(tenant.vc, "default")
+                try:
+                    env.run_coroutine(admin.get("trainingjobs",
+                                                "shared-name",
+                                                namespace=sns))
+                    found += 1
+                except NotFound:
+                    pass
+            return found == 2
+
+        env.run_until(both_synced, timeout=60)

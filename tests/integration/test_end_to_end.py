@@ -1,0 +1,191 @@
+"""End-to-end pipeline tests: tenant -> syncer -> super -> node -> tenant."""
+
+import pytest
+
+from repro.apiserver import NotFound
+from repro.core.crd import super_namespace
+from repro.objects import make_namespace, make_pod
+
+
+class TestPodLifecycle:
+    def test_pod_created_in_tenant_runs_in_super(self, env, tenant):
+        env.run_coroutine(tenant.create_pod("web"))
+        env.run_until_pods_ready(tenant, ["default/web"], timeout=60)
+        pod = env.run_coroutine(tenant.get_pod("web"))
+        assert pod.status.phase == "Running"
+        assert pod.status.is_ready
+        assert pod.status.pod_ip
+
+        super_ns = super_namespace(tenant.vc, "default")
+        admin = env.super_admin_client()
+        super_pod = env.run_coroutine(
+            admin.get("pods", "web", namespace=super_ns))
+        assert super_pod.status.is_ready
+        assert super_pod.spec.node_name.startswith("vk-node-")
+
+    def test_tenant_pod_bound_to_vnode_matching_physical_node(self, env,
+                                                              tenant):
+        env.run_coroutine(tenant.create_pod("web"))
+        env.run_until_pods_ready(tenant, ["default/web"], timeout=60)
+        pod = env.run_coroutine(tenant.get_pod("web"))
+        super_ns = super_namespace(tenant.vc, "default")
+        admin = env.super_admin_client()
+        super_pod = env.run_coroutine(
+            admin.get("pods", "web", namespace=super_ns))
+        # One-to-one vNode mapping: same node name on both sides.
+        assert pod.spec.node_name == super_pod.spec.node_name
+        vnode = env.run_coroutine(
+            tenant.client.get("nodes", pod.spec.node_name))
+        assert vnode is not None
+
+    def test_tenant_pod_delete_propagates_to_super(self, env, tenant):
+        env.run_coroutine(tenant.create_pod("doomed"))
+        env.run_until_pods_ready(tenant, ["default/doomed"], timeout=60)
+        env.run_coroutine(
+            tenant.client.delete("pods", "doomed", namespace="default"))
+        super_ns = super_namespace(tenant.vc, "default")
+        admin = env.super_admin_client()
+
+        def gone():
+            try:
+                env.run_coroutine(admin.get("pods", "doomed",
+                                            namespace=super_ns))
+                return False
+            except NotFound:
+                return True
+
+        env.run_until(gone, timeout=30)
+
+    def test_tenant_namespace_creates_prefixed_super_namespace(self, env,
+                                                               tenant):
+        env.run_coroutine(tenant.create_namespace("team-a"))
+        env.run_coroutine(tenant.create_pod("p", namespace="team-a"))
+        env.run_until_pods_ready(tenant, ["team-a/p"], timeout=60)
+        admin = env.super_admin_client()
+        sname = super_namespace(tenant.vc, "team-a")
+        namespace = env.run_coroutine(admin.get("namespaces", sname))
+        assert namespace is not None
+
+    def test_many_pods_all_become_ready(self, env, tenant):
+        def create_many():
+            for index in range(20):
+                yield from tenant.create_pod(f"w-{index:02d}")
+
+        env.run_coroutine(create_many())
+        keys = [f"default/w-{index:02d}" for index in range(20)]
+        env.run_until_pods_ready(tenant, keys, timeout=120)
+        pods, _rv = env.run_coroutine(tenant.list_pods())
+        assert sum(1 for pod in pods if pod.status.is_ready) == 20
+
+    def test_secrets_and_configmaps_sync_down(self, env, tenant):
+        from repro.objects import ConfigMap, Secret
+
+        secret = Secret()
+        secret.metadata.name = "creds"
+        secret.metadata.namespace = "default"
+        secret.string_data = {"token": "s3cr3t"}
+        configmap = ConfigMap()
+        configmap.metadata.name = "settings"
+        configmap.metadata.namespace = "default"
+        configmap.data = {"mode": "fast"}
+
+        def create():
+            yield from tenant.client.create(secret)
+            yield from tenant.client.create(configmap)
+
+        env.run_coroutine(create())
+        admin = env.super_admin_client()
+        super_ns = super_namespace(tenant.vc, "default")
+
+        def synced():
+            try:
+                s = env.run_coroutine(admin.get("secrets", "creds",
+                                                namespace=super_ns))
+                c = env.run_coroutine(admin.get("configmaps", "settings",
+                                                namespace=super_ns))
+                return (s.string_data.get("token") == "s3cr3t"
+                        and c.data.get("mode") == "fast")
+            except NotFound:
+                return False
+
+        env.run_until(synced, timeout=30)
+
+    def test_service_syncs_down_with_fresh_cluster_ip(self, env, tenant):
+        env.run_coroutine(tenant.create_service(
+            "svc", selector={"app": "web"}, port=80))
+        tenant_svc = env.run_coroutine(
+            tenant.client.get("services", "svc", namespace="default"))
+        assert tenant_svc.spec.cluster_ip  # tenant-side allocation
+        admin = env.super_admin_client()
+        super_ns = super_namespace(tenant.vc, "default")
+
+        def synced():
+            try:
+                super_svc = env.run_coroutine(
+                    admin.get("services", "svc", namespace=super_ns))
+                return bool(super_svc.spec.cluster_ip)
+            except NotFound:
+                return False
+
+        env.run_until(synced, timeout=30)
+
+    def test_pod_status_conditions_copied_upward(self, env, tenant):
+        env.run_coroutine(tenant.create_pod("web"))
+        env.run_until_pods_ready(tenant, ["default/web"], timeout=60)
+        pod = env.run_coroutine(tenant.get_pod("web"))
+        for condition_type in ("PodScheduled", "Initialized",
+                               "ContainersReady", "Ready"):
+            condition = pod.status.get_condition(condition_type)
+            assert condition is not None and condition.status == "True"
+
+
+class TestTenantExperience:
+    """The tenant sees an intact Kubernetes (paper's API-compat claim)."""
+
+    def test_tenant_can_create_namespaces_freely(self, env, tenant):
+        for name in ("dev", "staging", "prod"):
+            env.run_coroutine(tenant.create_namespace(name))
+        namespaces, _rv = env.run_coroutine(
+            tenant.client.list("namespaces"))
+        names = {namespace.name for namespace in namespaces}
+        assert {"dev", "staging", "prod", "default"} <= names
+
+    def test_tenant_can_install_crds(self, env, tenant):
+        from repro.objects import CustomResourceDefinition
+
+        crd = CustomResourceDefinition()
+        crd.metadata.name = "widgets.acme.io"
+        crd.spec.group = "acme.io"
+        crd.spec.names.kind = "Widget"
+        crd.spec.names.plural = "widgets"
+        env.run_coroutine(tenant.client.create(crd))
+        widget_type = tenant.control_plane.api.registry.register_crd(crd)
+        widget = widget_type()
+        widget.metadata.name = "w"
+        widget.metadata.namespace = "default"
+        widget.spec = {"size": 1}
+        env.run_coroutine(tenant.client.create(widget))
+        items, _rv = env.run_coroutine(
+            tenant.client.list("widgets", namespace="default"))
+        assert len(items) == 1
+
+    def test_tenant_deployments_work(self, env, tenant):
+        from repro.objects import Deployment, LabelSelector, make_pod
+
+        deployment = Deployment()
+        deployment.metadata.name = "web"
+        deployment.metadata.namespace = "default"
+        deployment.spec.replicas = 3
+        deployment.spec.selector = LabelSelector(match_labels={"app": "web"})
+        deployment.spec.template.metadata.labels = {"app": "web"}
+        deployment.spec.template.spec = make_pod("t").spec
+        env.run_coroutine(tenant.client.create(deployment))
+
+        def three_ready():
+            pods, _rv = env.run_coroutine(tenant.list_pods())
+            return sum(1 for pod in pods if pod.status.is_ready) == 3
+
+        env.run_until(three_ready, timeout=120)
+        fresh = env.run_coroutine(tenant.client.get(
+            "deployments", "web", namespace="default"))
+        assert fresh.status.ready_replicas == 3

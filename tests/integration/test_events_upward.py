@@ -1,0 +1,55 @@
+"""Events flow: super-cluster component events reach the tenant.
+
+The scheduler and kubelet record Events about synced pods in the
+prefixed super namespaces; the syncer's event reconciler copies them
+into the owning tenant control plane so the tenant can see why its pod
+is (not) progressing.
+"""
+
+from repro.objects import make_pod
+
+
+class TestEventsUpward:
+    def test_failed_scheduling_event_reaches_tenant(self, env, tenant):
+        pod = make_pod("impossible", cpu="4000")  # no node fits 4000 cores
+        env.run_coroutine(tenant.client.create(pod))
+
+        def tenant_sees_event():
+            events, _rv = env.run_coroutine(
+                tenant.client.list("events", namespace="default"))
+            return any(event.reason == "FailedScheduling"
+                       for event in events)
+
+        env.run_until(tenant_sees_event, timeout=60)
+        events, _rv = env.run_coroutine(
+            tenant.client.list("events", namespace="default"))
+        failed = [event for event in events
+                  if event.reason == "FailedScheduling"]
+        assert failed
+        assert failed[0].type == "Warning"
+        assert failed[0].involved_object.name == "impossible"
+        # The involved object reference is rewritten to the *tenant*
+        # namespace, not the prefixed super namespace.
+        assert failed[0].involved_object.namespace == "default"
+
+    def test_event_counts_aggregate(self, env, tenant):
+        pod = make_pod("still-impossible", cpu="4000")
+        env.run_coroutine(tenant.client.create(pod))
+        env.run_for(10)  # several scheduling retries -> repeated events
+
+        events, _rv = env.run_coroutine(
+            tenant.client.list("events", namespace="default"))
+        failed = [event for event in events
+                  if event.reason == "FailedScheduling"]
+        # Aggregated into few events (with counts), not one per retry.
+        assert 1 <= len(failed) <= 3
+
+    def test_no_cross_tenant_event_leak(self, env, two_tenants):
+        a, b = two_tenants
+        env.run_coroutine(a.client.create(make_pod("impossible",
+                                                   cpu="4000")))
+        env.run_for(8)
+        events, _rv = env.run_coroutine(
+            b.client.list("events", namespace="default"))
+        assert all(event.involved_object.name != "impossible"
+                   for event in events)

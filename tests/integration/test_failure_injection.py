@@ -1,0 +1,112 @@
+"""Failure injection: the syncer's resilience guarantees under crashes.
+
+The paper's §III-C design argument: rather than enumerate every race and
+failure combination, the syncer relies on relisting reflectors plus the
+periodic scanner to converge after arbitrary disruptions.  These tests
+inject crashes mid-flight and assert convergence.
+"""
+
+from repro.objects import make_pod
+
+
+class TestTenantApiserverCrash:
+    def test_crash_during_pod_creation_converges(self, env, tenant):
+        def create_some():
+            for index in range(5):
+                yield from tenant.create_pod(f"pre-{index}")
+
+        env.run_coroutine(create_some())
+        # Crash the tenant control plane while the syncer is mid-flight.
+        tenant.control_plane.api.crash()
+        env.run_for(2)
+        tenant.control_plane.api.recover()
+        env.run_for(3)  # reflectors relist
+
+        def create_more():
+            for index in range(5):
+                yield from tenant.create_pod(f"post-{index}")
+
+        env.run_coroutine(create_more())
+        keys = ([f"default/pre-{i}" for i in range(5)]
+                + [f"default/post-{i}" for i in range(5)])
+        env.run_until_pods_ready(tenant, keys, timeout=180)
+
+    def test_repeated_crashes(self, env, tenant):
+        for round_number in range(3):
+            env.run_coroutine(tenant.create_pod(f"round-{round_number}"))
+            tenant.control_plane.api.crash()
+            env.run_for(1)
+            tenant.control_plane.api.recover()
+            env.run_for(2)
+        keys = [f"default/round-{i}" for i in range(3)]
+        env.run_until_pods_ready(tenant, keys, timeout=240)
+
+
+class TestSuperApiserverCrash:
+    def test_crash_with_load_in_flight(self, env, tenant):
+        def create_load():
+            for index in range(10):
+                yield from tenant.create_pod(f"load-{index}")
+
+        env.run_coroutine(create_load())
+        env.run_for(0.2)  # some pods synced, some still queued
+        env.super_cluster.api.crash()
+        env.run_for(2)
+        env.super_cluster.api.recover()
+        keys = [f"default/load-{i}" for i in range(10)]
+        env.run_until_pods_ready(tenant, keys, timeout=240)
+
+    def test_store_compaction_during_watch(self, env, tenant):
+        env.run_coroutine(tenant.create_pod("survivor-1"))
+        env.run_until_pods_ready(tenant, ["default/survivor-1"],
+                                 timeout=60)
+        # Aggressive compaction invalidates watch replay windows; the
+        # reflectors must relist rather than wedge.
+        env.super_cluster.api.store.compact(keep=1)
+        env.run_coroutine(tenant.create_pod("survivor-2"))
+        env.run_until_pods_ready(tenant, ["default/survivor-2"],
+                                 timeout=120)
+
+
+class TestCombinedDisruption:
+    def test_both_sides_crash_then_full_reconcile(self, env, tenant):
+        env.run_coroutine(tenant.create_pod("anchor"))
+        env.run_until_pods_ready(tenant, ["default/anchor"], timeout=60)
+
+        tenant.control_plane.api.crash()
+        env.super_cluster.api.crash()
+        env.run_for(2)
+        tenant.control_plane.api.recover()
+        env.super_cluster.api.recover()
+        env.run_for(5)
+
+        env.run_coroutine(tenant.create_pod("phoenix"))
+        env.run_until_pods_ready(tenant, ["default/phoenix"], timeout=240)
+        # The pre-crash pod is still consistent on both sides.
+        pod = env.run_coroutine(tenant.get_pod("anchor"))
+        assert pod.status.is_ready
+
+    def test_deletion_during_super_outage_reconciles(self, env, tenant):
+        env.run_coroutine(tenant.create_pod("doomed"))
+        env.run_until_pods_ready(tenant, ["default/doomed"], timeout=60)
+        env.super_cluster.api.crash()
+        env.run_coroutine(
+            tenant.client.delete("pods", "doomed", namespace="default"))
+        env.run_for(1)
+        env.super_cluster.api.recover()
+
+        from repro.apiserver import NotFound
+        from repro.core.crd import super_namespace
+
+        admin = env.super_admin_client()
+        sns = super_namespace(tenant.vc, "default")
+
+        def gone():
+            try:
+                env.run_coroutine(admin.get("pods", "doomed",
+                                            namespace=sns))
+                return False
+            except NotFound:
+                return True
+
+        env.run_until(gone, timeout=120)

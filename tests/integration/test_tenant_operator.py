@@ -1,0 +1,82 @@
+"""Tenant operator lifecycle: provision, kubeconfig secret, deprovision."""
+
+from repro.apiserver import NotFound
+from repro.core.crd import cluster_prefix, make_virtual_cluster
+
+
+class TestProvisioning:
+    def test_vc_reaches_running(self, env, tenant):
+        assert tenant.vc.status.phase == "Running"
+        assert tenant.vc.status.control_plane_endpoint
+
+    def test_kubeconfig_secret_stored_in_super(self, env, tenant):
+        admin = env.super_admin_client()
+        secret_name = f"{cluster_prefix(tenant.vc)}-kubeconfig"
+        secret = env.run_coroutine(
+            admin.get("secrets", secret_name, namespace="vc-manager"))
+        assert secret.string_data["cert-hash"] == \
+            tenant.credential.cert_hash
+
+    def test_cert_hash_recorded_in_vc_status(self, env, tenant):
+        assert tenant.vc.status.cert_hash == tenant.credential.cert_hash
+
+    def test_operator_finds_vc_by_cert_hash(self, env, tenant):
+        found = env.tenant_operator.find_vc_by_cert_hash(
+            tenant.credential.cert_hash)
+        assert found is not None and found.name == tenant.name
+        assert env.tenant_operator.find_vc_by_cert_hash("bogus") is None
+
+    def test_finalizer_added(self, env, tenant):
+        admin = env.super_admin_client()
+        vc = env.run_coroutine(admin.get("virtualclusters", tenant.name,
+                                         namespace="vc-manager"))
+        assert "tenancy.x-k8s.io/vc-protection" in vc.metadata.finalizers
+
+    def test_tenant_control_plane_has_no_scheduler(self, env, tenant):
+        assert tenant.control_plane.scheduler is None
+        assert env.super_cluster.scheduler is not None
+
+    def test_cloud_mode_takes_longer(self, env):
+        admin = env.super_admin_client()
+        vc = make_virtual_cluster("slowpoke", namespace="vc-manager",
+                                  mode="cloud")
+        start = env.sim.now
+        env.run_coroutine(admin.create(vc))
+
+        def provisioned():
+            return env.tenant_operator.control_plane_for(
+                "vc-manager/slowpoke") is not None
+
+        env.run_until(provisioned, timeout=60)
+        assert env.sim.now - start >= 15.0  # cloud provisioning delay
+
+
+class TestDeprovisioning:
+    def test_delete_tenant_removes_control_plane(self, env, tenant):
+        key = tenant.key
+        env.run_coroutine(env.delete_tenant(tenant))
+
+        def gone():
+            return env.tenant_operator.control_plane_for(key) is None
+
+        env.run_until(gone, timeout=30)
+
+    def test_vc_object_fully_removed_after_finalization(self, env, tenant):
+        env.run_coroutine(env.delete_tenant(tenant))
+        admin = env.super_admin_client()
+
+        def vc_gone():
+            try:
+                env.run_coroutine(admin.get(
+                    "virtualclusters", tenant.name, namespace="vc-manager"))
+                return False
+            except NotFound:
+                return True
+
+        env.run_until(vc_gone, timeout=30)
+
+    def test_syncer_detached_on_delete(self, env, tenant):
+        key = tenant.key
+        assert key in env.syncer.tenants
+        env.run_coroutine(env.delete_tenant(tenant))
+        assert key not in env.syncer.tenants

@@ -1,0 +1,79 @@
+"""Property-based tests for resource quantities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.quantity import Quantity, add_resource_lists, fits_within
+
+millis = st.integers(min_value=-10 ** 15, max_value=10 ** 15)
+quantities = millis.map(Quantity)
+
+suffixes = st.sampled_from(["", "m", "k", "M", "G", "Ki", "Mi", "Gi"])
+small_numbers = st.integers(min_value=0, max_value=10 ** 6)
+
+
+@given(quantities)
+def test_str_round_trip_preserves_value(q):
+    assert Quantity.parse(str(q)) == q
+
+
+@given(small_numbers, suffixes)
+def test_parse_never_crashes_on_valid_input(number, suffix):
+    q = Quantity.parse(f"{number}{suffix}")
+    assert isinstance(q.milli, int)
+
+
+@given(quantities, quantities)
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(quantities, quantities, quantities)
+def test_addition_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(quantities)
+def test_add_zero_identity(q):
+    assert q + Quantity.zero() == q
+
+
+@given(quantities, quantities)
+def test_subtraction_inverts_addition(a, b):
+    assert (a + b) - b == a
+
+
+@given(quantities, quantities)
+def test_ordering_total(a, b):
+    assert (a < b) or (a > b) or (a == b)
+
+
+@given(quantities, quantities)
+def test_ordering_consistent_with_milli(a, b):
+    assert (a < b) == (a.milli < b.milli)
+
+
+@given(st.dictionaries(st.sampled_from(["cpu", "memory", "pods"]),
+                       quantities, max_size=3),
+       st.dictionaries(st.sampled_from(["cpu", "memory", "pods"]),
+                       quantities, max_size=3))
+def test_add_resource_lists_contains_all_keys(a, b):
+    total = add_resource_lists(a, b)
+    assert set(total) == set(a) | set(b)
+    for key in set(a) & set(b):
+        assert total[key] == a[key] + b[key]
+
+
+@given(st.dictionaries(st.sampled_from(["cpu", "memory"]),
+                       millis.map(lambda m: Quantity(abs(m))), max_size=2))
+@settings(max_examples=50)
+def test_request_always_fits_within_itself(request):
+    assert fits_within(request, request)
+
+
+@given(st.dictionaries(st.sampled_from(["cpu", "memory"]),
+                       millis.map(lambda m: Quantity(abs(m) + 1)),
+                       min_size=1, max_size=2))
+def test_request_never_fits_within_less(request):
+    smaller = {name: q - Quantity(1) for name, q in request.items()}
+    assert not fits_within(request, smaller)

@@ -1,0 +1,96 @@
+"""Property-based serde round-trips for randomly generated API objects."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crd import make_virtual_cluster
+from repro.core.syncer.conversion import tenant_origin, to_super
+from repro.objects import Pod, Quantity, Service, make_pod, make_service
+
+names = st.from_regex(r"[a-z][a-z0-9-]{0,20}[a-z0-9]", fullmatch=True)
+namespaces = st.sampled_from(["default", "prod", "team-a"])
+label_dicts = st.dictionaries(
+    st.sampled_from(["app", "tier", "env", "ver"]),
+    st.from_regex(r"[a-z0-9]{1,10}", fullmatch=True),
+    max_size=4,
+)
+cpu_values = st.sampled_from(["100m", "250m", "1", "2", "1500m"])
+memory_values = st.sampled_from(["64Mi", "128Mi", "1Gi", "512Mi"])
+
+
+@st.composite
+def pods(draw):
+    pod = make_pod(draw(names), namespace=draw(namespaces),
+                   labels=draw(label_dicts),
+                   cpu=draw(cpu_values), memory=draw(memory_values))
+    if draw(st.booleans()):
+        pod.spec.node_selector = draw(label_dicts)
+    if draw(st.booleans()):
+        pod.spec.node_name = draw(names)
+    if draw(st.booleans()):
+        pod.status.phase = draw(st.sampled_from(
+            ["Pending", "Running", "Succeeded", "Failed"]))
+        pod.status.pod_ip = "10.0.0.1"
+    return pod
+
+
+@st.composite
+def services(draw):
+    return make_service(draw(names), namespace=draw(namespaces),
+                        selector=draw(label_dicts),
+                        port=draw(st.integers(1, 65535)))
+
+
+@given(pods())
+@settings(max_examples=200)
+def test_pod_round_trip(pod):
+    assert Pod.from_dict(pod.to_dict()) == pod
+
+
+@given(pods())
+@settings(max_examples=100)
+def test_pod_copy_equals_original(pod):
+    clone = pod.copy()
+    assert clone == pod
+    clone.metadata.labels["mutant"] = "x"
+    assert clone != pod or "mutant" in (pod.metadata.labels or {})
+    # Deep copy: mutation must not reach the original.
+    assert "mutant" not in (pod.metadata.labels or {}) or \
+        pod.metadata.labels is clone.metadata.labels
+
+
+@given(services())
+@settings(max_examples=100)
+def test_service_round_trip(service):
+    assert Service.from_dict(service.to_dict()) == service
+
+
+@given(pods())
+@settings(max_examples=100)
+def test_double_round_trip_stable(pod):
+    once = Pod.from_dict(pod.to_dict())
+    twice = Pod.from_dict(once.to_dict())
+    assert once.to_dict() == twice.to_dict()
+
+
+@given(pods())
+@settings(max_examples=100)
+def test_requests_survive_round_trip_exactly(pod):
+    again = Pod.from_dict(pod.to_dict())
+    for original, restored in zip(pod.spec.containers,
+                                  again.spec.containers):
+        for name, quantity in original.resources.requests.items():
+            assert restored.resources.requests[name] == \
+                Quantity.parse(quantity)
+
+
+@given(pods())
+@settings(max_examples=100)
+def test_to_super_round_trips_origin(pod):
+    vc = make_virtual_cluster("acme")
+    vc.metadata.uid = "uid-777"
+    translated = to_super(pod, vc)
+    origin = tenant_origin(translated)
+    assert origin == (vc.key, pod.metadata.namespace, pod.metadata.name)
+    # Translation is itself serializable.
+    assert Pod.from_dict(translated.to_dict()) == translated

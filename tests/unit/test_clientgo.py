@@ -1,0 +1,188 @@
+"""Unit tests for client, reflector, and shared informer."""
+
+import pytest
+
+from repro.apiserver import ADMIN, APIServer, TooManyRequests
+from repro.clientgo import Client, InformerFactory, SharedInformer
+from repro.objects import make_namespace, make_pod
+from repro.simkernel import Simulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+@pytest.fixture
+def api(sim):
+    return APIServer(sim, "api")
+
+
+@pytest.fixture
+def client(sim, api):
+    return Client(sim, api, ADMIN, user_agent="test", qps=10000, burst=10000)
+
+
+def run(sim, coroutine):
+    return sim.run(until=sim.process(coroutine))
+
+
+def bootstrap(sim, client):
+    run(sim, client.create(make_namespace("default")))
+
+
+class TestClient:
+    def test_qps_throttling_spaces_requests(self, sim, api):
+        slow = Client(sim, api, ADMIN, qps=2, burst=1, user_agent="slow")
+        bootstrap(sim, slow)
+        times = []
+
+        def burst():
+            for i in range(3):
+                yield from slow.create(make_pod(f"p{i}"))
+                times.append(sim.now)
+
+        run(sim, burst())
+        # 2 qps with burst 1: requests roughly 0.5s apart.
+        assert times[1] - times[0] >= 0.45
+        assert times[2] - times[1] >= 0.45
+
+    def test_retry_on_retryable_error(self, sim, api, client):
+        bootstrap(sim, client)
+        calls = []
+        original = api.get
+
+        def flaky_get(credential, plural, name, namespace=None):
+            calls.append(1)
+            if len(calls) < 3:
+                raise TooManyRequests("slow down")
+            return (yield from original(credential, plural, name,
+                                        namespace=namespace))
+
+        run(sim, client.create(make_pod("p")))
+        api.get = flaky_get
+        pod = run(sim, client.get("pods", "p", namespace="default"))
+        assert pod.name == "p"
+        assert len(calls) == 3
+
+    def test_non_retryable_error_propagates(self, sim, api, client):
+        from repro.apiserver import NotFound
+
+        bootstrap(sim, client)
+        with pytest.raises(NotFound):
+            run(sim, client.get("pods", "missing", namespace="default"))
+
+    def test_cpu_account_charged(self, sim, api):
+        account = sim.accounting.cpu_account("syncer-test")
+        charged = Client(sim, api, ADMIN, cpu_account=account,
+                         user_agent="charged")
+        bootstrap(sim, charged)
+        assert account.seconds > 0
+
+    def test_kubeconfig_builds_client(self, sim, api):
+        from repro.clientgo import Kubeconfig
+
+        kubeconfig = Kubeconfig(api, ADMIN)
+        built = kubeconfig.client(sim)
+        bootstrap(sim, built)
+        pod = run(sim, built.create(make_pod("p")))
+        assert pod.metadata.uid
+
+
+class TestInformer:
+    def test_initial_list_populates_cache(self, sim, client):
+        bootstrap(sim, client)
+        run(sim, client.create(make_pod("pre-existing")))
+        informer = SharedInformer(sim, client, "pods")
+        informer.start()
+        sim.run(until=sim.now + 1)
+        assert informer.has_synced
+        assert "default/pre-existing" in informer.cache
+
+    def test_watch_events_update_cache(self, sim, client):
+        bootstrap(sim, client)
+        informer = SharedInformer(sim, client, "pods")
+        informer.start()
+        sim.run(until=sim.now + 0.5)
+        run(sim, client.create(make_pod("new")))
+        sim.run(until=sim.now + 0.5)
+        assert informer.cache.get("default/new") is not None
+
+    def test_handlers_fire_in_order(self, sim, client):
+        bootstrap(sim, client)
+        events = []
+        informer = SharedInformer(sim, client, "pods")
+        informer.add_handlers(
+            on_add=lambda o: events.append(("add", o.name)),
+            on_update=lambda old, new: events.append(("update", new.name)),
+            on_delete=lambda o: events.append(("delete", o.name)),
+        )
+        informer.start()
+        sim.run(until=sim.now + 0.5)
+
+        def mutate():
+            pod = yield from client.create(make_pod("p"))
+            pod.metadata.labels["x"] = "1"
+            yield from client.update(pod)
+            yield from client.delete("pods", "p", namespace="default")
+
+        run(sim, mutate())
+        sim.run(until=sim.now + 0.5)
+        assert events == [("add", "p"), ("update", "p"), ("delete", "p")]
+
+    def test_get_copy_isolated_from_cache(self, sim, client):
+        bootstrap(sim, client)
+        informer = SharedInformer(sim, client, "pods")
+        informer.start()
+        run(sim, client.create(make_pod("p")))
+        sim.run(until=sim.now + 0.5)
+        copy1 = informer.cache.get_copy("default/p")
+        copy1.status.phase = "Mutated"
+        assert informer.cache.get("default/p").status.phase == "Pending"
+
+    def test_relist_after_apiserver_crash(self, sim, api, client):
+        bootstrap(sim, client)
+        informer = SharedInformer(sim, client, "pods")
+        informer.start()
+        run(sim, client.create(make_pod("before")))
+        sim.run(until=sim.now + 0.5)
+        api.crash()
+        sim.run(until=sim.now + 0.5)
+        api.recover()
+        run(sim, client.create(make_pod("after")))
+        sim.run(until=sim.now + 3)
+        assert informer.cache.get("default/after") is not None
+        assert informer.reflector.list_count >= 2
+
+    def test_cache_byte_accounting(self, sim, client):
+        bootstrap(sim, client)
+        informer = SharedInformer(sim, client, "pods", size_factor=10.0,
+                                  size_overhead=100)
+        informer.start()
+        sim.run(until=sim.now + 0.2)
+        assert informer.cache.total_bytes == 0
+        run(sim, client.create(make_pod("p")))
+        sim.run(until=sim.now + 0.5)
+        first = informer.cache.total_bytes
+        assert first > 100
+        run(sim, client.delete("pods", "p", namespace="default"))
+        sim.run(until=sim.now + 0.5)
+        assert informer.cache.total_bytes == 0
+
+    def test_field_selector_informer_scopes_cache(self, sim, client):
+        bootstrap(sim, client)
+        factory = InformerFactory(sim, client)
+        scoped = factory.informer("pods",
+                                  field_selector={"spec.nodeName": "n1"})
+        scoped.start()
+        sim.run(until=sim.now + 0.2)
+        run(sim, client.create(make_pod("a", node_name="n1")))
+        run(sim, client.create(make_pod("b", node_name="n2")))
+        sim.run(until=sim.now + 0.5)
+        assert "default/a" in scoped.cache
+        assert "default/b" not in scoped.cache
+
+    def test_factory_reuses_informers(self, sim, client):
+        factory = InformerFactory(sim, client)
+        assert factory.informer("pods") is factory.informer("pods")
+        assert factory.informer("pods") is not factory.informer("services")

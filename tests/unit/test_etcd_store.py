@@ -1,0 +1,172 @@
+"""Unit tests for the etcd-like MVCC store."""
+
+import pytest
+
+from repro.simkernel import Simulation
+from repro.storage import (
+    EVENT_DELETE,
+    EVENT_PUT,
+    EtcdStore,
+    KeyAlreadyExists,
+    KeyNotFound,
+    RevisionCompacted,
+    RevisionConflict,
+)
+
+
+@pytest.fixture
+def store():
+    return EtcdStore(Simulation(), name="test-etcd")
+
+
+class TestCrud:
+    def test_create_and_get(self, store):
+        revision = store.create("/registry/pods/ns/a", {"x": 1})
+        value, mod = store.get("/registry/pods/ns/a")
+        assert value == {"x": 1}
+        assert mod == revision == 1
+
+    def test_create_duplicate_fails(self, store):
+        store.create("/registry/pods/ns/a", {})
+        with pytest.raises(KeyAlreadyExists):
+            store.create("/registry/pods/ns/a", {})
+
+    def test_get_missing_fails(self, store):
+        with pytest.raises(KeyNotFound):
+            store.get("/registry/pods/ns/nope")
+
+    def test_try_get_missing(self, store):
+        value, revision = store.try_get("/registry/pods/ns/nope")
+        assert value is None
+        assert revision == 0
+
+    def test_update_bumps_global_revision(self, store):
+        store.create("/registry/pods/ns/a", {"v": 1})
+        store.create("/registry/pods/ns/b", {"v": 1})
+        revision = store.update("/registry/pods/ns/a", {"v": 2})
+        assert revision == 3
+        _value, mod_b = store.get("/registry/pods/ns/b")
+        assert mod_b == 2  # untouched keys keep their mod revision
+
+    def test_update_missing_fails(self, store):
+        with pytest.raises(KeyNotFound):
+            store.update("/registry/pods/ns/a", {})
+
+    def test_delete(self, store):
+        store.create("/registry/pods/ns/a", {})
+        store.delete("/registry/pods/ns/a")
+        with pytest.raises(KeyNotFound):
+            store.get("/registry/pods/ns/a")
+
+    def test_values_are_isolated_copies(self, store):
+        original = {"nested": {"x": 1}}
+        store.create("/registry/pods/ns/a", original)
+        original["nested"]["x"] = 99
+        value, _mod = store.get("/registry/pods/ns/a")
+        assert value["nested"]["x"] == 1
+        value["nested"]["x"] = 42
+        value2, _mod = store.get("/registry/pods/ns/a")
+        assert value2["nested"]["x"] == 1
+
+
+class TestCas:
+    def test_cas_update_success(self, store):
+        revision = store.create("/registry/pods/ns/a", {"v": 1})
+        store.update("/registry/pods/ns/a", {"v": 2},
+                     expected_revision=revision)
+
+    def test_cas_update_conflict(self, store):
+        revision = store.create("/registry/pods/ns/a", {"v": 1})
+        store.update("/registry/pods/ns/a", {"v": 2})
+        with pytest.raises(RevisionConflict):
+            store.update("/registry/pods/ns/a", {"v": 3},
+                         expected_revision=revision)
+
+    def test_cas_delete_conflict(self, store):
+        revision = store.create("/registry/pods/ns/a", {"v": 1})
+        store.update("/registry/pods/ns/a", {"v": 2})
+        with pytest.raises(RevisionConflict):
+            store.delete("/registry/pods/ns/a", expected_revision=revision)
+
+
+class TestListPrefix:
+    def test_list_prefix_scopes_by_namespace(self, store):
+        store.create("/registry/pods/ns1/a", {"n": 1})
+        store.create("/registry/pods/ns1/b", {"n": 2})
+        store.create("/registry/pods/ns2/c", {"n": 3})
+        items, revision = store.list_prefix("/registry/pods/ns1/")
+        assert [key for key, _v, _r in items] == [
+            "/registry/pods/ns1/a", "/registry/pods/ns1/b"]
+        assert revision == 3
+
+    def test_list_prefix_all_of_resource(self, store):
+        store.create("/registry/pods/ns1/a", {})
+        store.create("/registry/services/ns1/a", {})
+        items, _revision = store.list_prefix("/registry/pods/")
+        assert len(items) == 1
+
+    def test_count_prefix(self, store):
+        for i in range(5):
+            store.create(f"/registry/pods/ns/{i}", {})
+        assert store.count_prefix("/registry/pods/") == 5
+        assert store.count_prefix("/registry/services/") == 0
+
+    def test_list_sorted(self, store):
+        store.create("/registry/pods/ns/b", {})
+        store.create("/registry/pods/ns/a", {})
+        items, _revision = store.list_prefix("/registry/pods/")
+        keys = [key for key, _v, _r in items]
+        assert keys == sorted(keys)
+
+
+class TestWatch:
+    def test_watch_receives_live_events(self, store):
+        watch = store.watch("/registry/pods/")
+        store.create("/registry/pods/ns/a", {"v": 1})
+        store.update("/registry/pods/ns/a", {"v": 2})
+        store.delete("/registry/pods/ns/a")
+        events = [watch.channel._items[i] for i in range(3)]
+        assert [e.type for e in events] == [EVENT_PUT, EVENT_PUT,
+                                            EVENT_DELETE]
+        assert events[0].prev_value is None       # create
+        assert events[1].prev_value == {"v": 1}   # update
+
+    def test_watch_prefix_filtering(self, store):
+        watch = store.watch("/registry/pods/ns1/")
+        store.create("/registry/pods/ns1/a", {})
+        store.create("/registry/pods/ns2/b", {})
+        assert len(watch.channel) == 1
+
+    def test_watch_predicate_filtering(self, store):
+        watch = store.watch(
+            "/registry/pods/",
+            predicate=lambda e: e.value.get("node") == "n1")
+        store.create("/registry/pods/ns/a", {"node": "n1"})
+        store.create("/registry/pods/ns/b", {"node": "n2"})
+        assert len(watch.channel) == 1
+
+    def test_watch_replay_from_revision(self, store):
+        store.create("/registry/pods/ns/a", {"v": 1})
+        revision = store.revision
+        store.create("/registry/pods/ns/b", {"v": 2})
+        watch = store.watch("/registry/pods/", from_revision=revision)
+        assert len(watch.channel) == 1  # only b replayed
+
+    def test_watch_replay_compacted_fails(self, store):
+        for i in range(10):
+            store.create(f"/registry/pods/ns/p{i}", {})
+        store.compact(keep=2)
+        with pytest.raises(RevisionCompacted):
+            store.watch("/registry/pods/", from_revision=1)
+
+    def test_cancelled_watch_gets_nothing(self, store):
+        watch = store.watch("/registry/pods/")
+        watch.cancel()
+        store.create("/registry/pods/ns/a", {})
+        assert watch.channel.closed
+
+    def test_stats(self, store):
+        store.create("/registry/pods/ns/a", {})
+        stats = store.stats()
+        assert stats["keys"] == 1
+        assert stats["revision"] == 1

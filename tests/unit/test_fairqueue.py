@@ -1,0 +1,181 @@
+"""Unit tests for the fair (WRR) work queue — the paper's §III-C extension."""
+
+import pytest
+
+from repro.clientgo import FairWorkQueue, ShutDown
+from repro.simkernel import Simulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+def drain_all(sim, queue, count):
+    """Take ``count`` items sequentially; returns [(tenant, key)]."""
+    taken = []
+
+    def worker():
+        for _ in range(count):
+            tenant, key, _enqueued = yield queue.get()
+            taken.append((tenant, key))
+            queue.done(tenant, key)
+
+    process = sim.process(worker())
+    sim.run(until=process)
+    return taken
+
+
+class TestRoundRobin:
+    def test_equal_weights_interleave(self, sim):
+        queue = FairWorkQueue(sim)
+        for i in range(3):
+            queue.add("A", f"a{i}")
+        for i in range(3):
+            queue.add("B", f"b{i}")
+        taken = drain_all(sim, queue, 6)
+        tenants = [tenant for tenant, _key in taken]
+        # Strict alternation with equal weights.
+        assert tenants == ["A", "B", "A", "B", "A", "B"]
+
+    def test_burst_tenant_cannot_starve_others(self, sim):
+        queue = FairWorkQueue(sim)
+        for i in range(100):
+            queue.add("greedy", f"g{i}")
+        queue.add("regular", "r0")
+        taken = drain_all(sim, queue, 4)
+        # The regular tenant's single item is served within one WRR round.
+        positions = [i for i, (tenant, _key) in enumerate(taken)
+                     if tenant == "regular"]
+        assert positions and positions[0] <= 1
+
+    def test_weighted_dispatch_ratio(self, sim):
+        queue = FairWorkQueue(sim)
+        queue.register_tenant("heavy", weight=3)
+        queue.register_tenant("light", weight=1)
+        for i in range(30):
+            queue.add("heavy", f"h{i}")
+        for i in range(30):
+            queue.add("light", f"l{i}")
+        taken = drain_all(sim, queue, 16)
+        heavy = sum(1 for tenant, _k in taken if tenant == "heavy")
+        light = sum(1 for tenant, _k in taken if tenant == "light")
+        assert heavy == pytest.approx(3 * light, abs=2)
+
+    def test_unfair_mode_is_fifo(self, sim):
+        queue = FairWorkQueue(sim, fair=False)
+        for i in range(50):
+            queue.add("greedy", f"g{i}")
+        queue.add("regular", "r0")
+        taken = drain_all(sim, queue, 51)
+        assert taken[-1] == ("regular", "r0")
+
+    def test_empty_tenant_skipped(self, sim):
+        queue = FairWorkQueue(sim)
+        queue.register_tenant("empty")
+        queue.add("busy", "b0")
+        assert drain_all(sim, queue, 1) == [("busy", "b0")]
+
+
+class TestDedup:
+    def test_dedup_same_key(self, sim):
+        queue = FairWorkQueue(sim)
+        queue.add("A", "k")
+        queue.add("A", "k")
+        assert len(queue) == 1
+        assert queue.deduped_total == 1
+
+    def test_same_key_different_tenants_not_deduped(self, sim):
+        queue = FairWorkQueue(sim)
+        queue.add("A", "k")
+        queue.add("B", "k")
+        assert len(queue) == 2
+
+    def test_readd_while_processing(self, sim):
+        queue = FairWorkQueue(sim)
+        queue.add("A", "k")
+        order = []
+
+        def worker():
+            tenant, key, _t = yield queue.get()
+            order.append("first")
+            queue.add(tenant, key)
+            queue.done(tenant, key)
+            tenant, key, _t = yield queue.get()
+            order.append("second")
+            queue.done(tenant, key)
+
+        sim.run(until=sim.process(worker()))
+        assert order == ["first", "second"]
+
+
+class TestLifecycle:
+    def test_blocking_get(self, sim):
+        queue = FairWorkQueue(sim)
+        got = []
+
+        def worker():
+            tenant, key, _t = yield queue.get()
+            got.append((tenant, key, sim.now))
+
+        def producer():
+            yield sim.timeout(2)
+            queue.add("T", "x")
+
+        sim.process(worker())
+        sim.process(producer())
+        sim.run()
+        assert got == [("T", "x", 2)]
+
+    def test_shutdown(self, sim):
+        queue = FairWorkQueue(sim)
+        failures = []
+
+        def worker():
+            try:
+                yield queue.get()
+            except ShutDown:
+                failures.append(True)
+
+        sim.process(worker())
+
+        def closer():
+            yield sim.timeout(1)
+            queue.shutdown()
+
+        sim.process(closer())
+        sim.run()
+        assert failures == [True]
+
+    def test_remove_tenant_discards_pending(self, sim):
+        queue = FairWorkQueue(sim)
+        queue.add("A", "a0")
+        queue.add("B", "b0")
+        queue.remove_tenant("A")
+        assert len(queue) == 1
+        assert drain_all(sim, queue, 1) == [("B", "b0")]
+
+    def test_wait_time_by_tenant_tracked(self, sim):
+        queue = FairWorkQueue(sim)
+
+        def producer():
+            queue.add("A", "x")
+            yield sim.timeout(0)
+
+        def worker():
+            yield sim.timeout(5)
+            tenant, key, enqueued = yield queue.get()
+            queue.done(tenant, key)
+
+        sim.process(producer())
+        process = sim.process(worker())
+        sim.run(until=process)
+        assert queue.wait_time_by_tenant["A"] == pytest.approx(5)
+        assert queue.dispatched_by_tenant["A"] == 1
+
+    def test_stats(self, sim):
+        queue = FairWorkQueue(sim)
+        queue.add("A", "x")
+        stats = queue.stats()
+        assert stats["depth"] == 1
+        assert stats["tenants"] == 1

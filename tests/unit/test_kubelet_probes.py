@@ -1,0 +1,126 @@
+"""Kubelet probes and restart policy."""
+
+import pytest
+
+from repro.objects import Container, make_pod
+
+from .test_kubelet import _NodeHarness
+
+
+def probed_pod(name, liveness=False, readiness=False,
+               restart_policy="Always"):
+    container = Container(name="main", image="app:1")
+    probe = {"periodSeconds": 1.0, "failureThreshold": 2,
+             "initialDelaySeconds": 0.5}
+    if liveness:
+        container.liveness_probe = dict(probe)
+    if readiness:
+        container.readiness_probe = dict(probe)
+    pod = make_pod(name, node_name="n1", containers=[container])
+    pod.spec.restart_policy = restart_policy
+    return pod
+
+
+@pytest.fixture
+def harness():
+    return _NodeHarness()
+
+
+def main_container(harness, name):
+    return harness.kubelet._containers[f"default/{name}"]["main"]
+
+
+class TestLivenessProbe:
+    def test_unhealthy_container_restarted(self, harness):
+        harness.run(harness.client.create(probed_pod("sick",
+                                                     liveness=True)))
+        harness.settle(3)
+        container = main_container(harness, "sick")
+        container.healthy = False
+        harness.settle(8)
+        restarted = main_container(harness, "sick")
+        assert restarted.restart_count >= 1
+        assert restarted.state == "running"
+        pod = harness.get_pod("sick")
+        assert pod.status.container_statuses[0].restart_count >= 1
+
+    def test_healthy_container_untouched(self, harness):
+        harness.run(harness.client.create(probed_pod("fine",
+                                                     liveness=True)))
+        harness.settle(8)
+        assert main_container(harness, "fine").restart_count == 0
+
+    def test_restart_policy_never_fails_pod(self, harness):
+        harness.run(harness.client.create(
+            probed_pod("fragile", liveness=True, restart_policy="Never")))
+        harness.settle(3)
+        main_container(harness, "fragile").healthy = False
+        harness.settle(8)
+        pod = harness.get_pod("fragile")
+        assert pod.status.phase == "Failed"
+
+    def test_recovered_container_not_restarted_again(self, harness):
+        harness.run(harness.client.create(probed_pod("flaky",
+                                                     liveness=True)))
+        harness.settle(3)
+        main_container(harness, "flaky").healthy = False
+        harness.settle(6)
+        first_restarts = main_container(harness, "flaky").restart_count
+        assert first_restarts >= 1
+        # New container is healthy by default; no further restarts.
+        harness.settle(8)
+        assert main_container(harness, "flaky").restart_count == \
+            first_restarts
+
+
+class TestReadinessProbe:
+    def test_unready_flips_ready_condition(self, harness):
+        harness.run(harness.client.create(probed_pod("warming",
+                                                     readiness=True)))
+        harness.settle(3)
+        assert harness.get_pod("warming").status.is_ready
+        main_container(harness, "warming").healthy = False
+        harness.settle(6)
+        pod = harness.get_pod("warming")
+        assert not pod.status.is_ready
+        assert pod.status.phase == "Running"  # running but not ready
+
+    def test_recovery_restores_ready(self, harness):
+        harness.run(harness.client.create(probed_pod("resilient",
+                                                     readiness=True)))
+        harness.settle(3)
+        container = main_container(harness, "resilient")
+        container.healthy = False
+        harness.settle(6)
+        assert not harness.get_pod("resilient").status.is_ready
+        container.healthy = True
+        harness.settle(6)
+        assert harness.get_pod("resilient").status.is_ready
+
+    def test_unready_pod_leaves_service_endpoints(self, harness):
+        """Readiness drives endpoints membership end-to-end."""
+        from repro.clientgo import InformerFactory
+        from repro.controllers import EndpointsController
+        from repro.objects import make_service
+
+        factory = InformerFactory(harness.sim, harness.client)
+        endpoints_controller = EndpointsController(
+            harness.sim, harness.client, factory)
+        factory.start_all()
+        endpoints_controller.start()
+
+        pod = probed_pod("backend", readiness=True)
+        pod.metadata.labels = {"app": "web"}
+        harness.run(harness.client.create(pod))
+        harness.run(harness.client.create(
+            make_service("web", selector={"app": "web"})))
+        harness.settle(4)
+        endpoints = harness.run(harness.client.get(
+            "endpoints", "web", namespace="default"))
+        assert len(endpoints.ready_ips()) == 1
+
+        main_container(harness, "backend").healthy = False
+        harness.settle(8)
+        endpoints = harness.run(harness.client.get(
+            "endpoints", "web", namespace="default"))
+        assert endpoints.ready_ips() == []

@@ -1,0 +1,145 @@
+"""Unit tests for metrics, accounting, and reporting helpers."""
+
+import pytest
+
+from repro.metrics import (
+    format_bucket_table,
+    format_histogram,
+    format_phase_breakdown,
+    format_table,
+    summarize,
+)
+from repro.simkernel import Simulation
+from repro.simkernel.metrics import Histogram, SampleSeries
+
+
+class TestHistogram:
+    def test_observe_into_buckets(self):
+        histogram = Histogram(bounds=[1, 2, 4])
+        for value in [0.5, 1.5, 3.0, 10.0]:
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.total == 4
+        assert histogram.mean == pytest.approx(3.75)
+
+    def test_percentiles(self):
+        histogram = Histogram(bounds=[100])
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(99) == pytest.approx(99.01)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_empty_percentile(self):
+        assert Histogram(bounds=[1]).percentile(99) == 0.0
+
+    def test_bucket_counts_layout(self):
+        histogram = Histogram(bounds=[1, 2])
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        buckets = histogram.bucket_counts()
+        assert buckets[0] == ((0.0, 1), 1)
+        assert buckets[-1] == ((2, None), 1)
+
+
+class TestSampleSeries:
+    def test_peak_and_last(self):
+        series = SampleSeries()
+        series.record(0.0, 10)
+        series.record(1.0, 30)
+        series.record(2.0, 20)
+        assert series.peak == 30
+        assert series.last == 20
+
+    def test_empty(self):
+        series = SampleSeries()
+        assert series.peak == 0.0
+        assert series.last == 0.0
+
+
+class TestAccounting:
+    def test_cpu_charges_accumulate_by_activity(self):
+        sim = Simulation()
+        account = sim.accounting.cpu_account("worker")
+        account.charge(0.5, activity="reconcile")
+        account.charge(0.25, activity="reconcile")
+        account.charge(1.0, activity="scan")
+        assert account.seconds == pytest.approx(1.75)
+        assert account.by_activity["reconcile"] == pytest.approx(0.75)
+
+    def test_negative_charge_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.accounting.cpu_account("w").charge(-1)
+
+    def test_memory_meters_summed_and_peak_tracked(self):
+        sim = Simulation()
+        account = sim.accounting.memory_account("proc")
+        state = {"a": 100, "b": 50}
+        account.register_meter("a", lambda: state["a"])
+        account.register_meter("b", lambda: state["b"])
+        assert account.snapshot(0.0) == 150
+        state["a"] = 400
+        assert account.snapshot(1.0) == 450
+        state["a"] = 10
+        account.snapshot(2.0)
+        assert account.peak == 450
+        assert account.current == 60
+
+    def test_accounts_are_singletons_per_name(self):
+        sim = Simulation()
+        assert sim.accounting.cpu_account("x") is \
+            sim.accounting.cpu_account("x")
+
+    def test_metrics_registry(self):
+        sim = Simulation()
+        sim.metrics.inc("ops")
+        sim.metrics.inc("ops", 2)
+        assert sim.metrics.counters["ops"] == 3
+        sim.metrics.observe("latency", 1.5, bounds=[1, 2])
+        assert sim.metrics.histogram("latency").total == 1
+        sim.metrics.sample("depth", 7)
+        assert sim.metrics.series["depth"].last == 7
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [("a", 1.5), ("long-name", 20)],
+                             title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.50" in table
+        assert "long-name" in table
+
+    def test_format_histogram(self):
+        text = format_histogram([0.1, 0.2, 1.5, 1.7, 1.8],
+                                bucket_width=1.0, title="h")
+        assert "h" in text
+        assert "[  0.0,  1.0)" in text
+        assert "2" in text and "3" in text
+
+    def test_format_histogram_empty(self):
+        assert format_histogram([]) == "(no samples)"
+
+    def test_format_phase_breakdown_shares(self):
+        text = format_phase_breakdown({"A": 3.0, "B": 1.0})
+        assert "75.00" in text
+        assert "25.00" in text
+
+    def test_format_bucket_table(self):
+        text = format_bucket_table({"Phase": [5, 3, 0, 0, 0]})
+        assert "[0,2]" in text and "[8,10]" in text
+        assert "Phase" in text
+
+    def test_summarize(self):
+        from repro.workloads import StressResult
+
+        result = StressResult(mode="x", num_pods=10, num_tenants=2,
+                              creation_times=[1.0, 2.0], duration=5.0,
+                              throughput=2.0)
+        text = summarize(result)
+        assert "pods=10" in text
+        assert "mean=1.50s" in text

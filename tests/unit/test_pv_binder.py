@@ -1,0 +1,154 @@
+"""Unit tests for the PersistentVolume binder controller."""
+
+import pytest
+
+from repro.apiserver import ADMIN, APIServer
+from repro.clientgo import Client, InformerFactory
+from repro.controllers.pv_binder import PersistentVolumeBinder
+from repro.objects import (
+    PersistentVolume,
+    PersistentVolumeClaim,
+    StorageClass,
+    make_namespace,
+)
+from repro.simkernel import Simulation
+
+
+def make_pvc(name, storage="1Gi", storage_class=None):
+    pvc = PersistentVolumeClaim()
+    pvc.metadata.name = name
+    pvc.metadata.namespace = "default"
+    pvc.spec = {"resources": {"requests": {"storage": storage}}}
+    if storage_class:
+        pvc.spec["storageClassName"] = storage_class
+    pvc.status = {"phase": "Pending"}
+    return pvc
+
+
+def make_pv(name, storage="1Gi", storage_class=None):
+    pv = PersistentVolume()
+    pv.metadata.name = name
+    pv.spec = {"capacity": {"storage": storage}}
+    if storage_class:
+        pv.spec["storageClassName"] = storage_class
+    pv.status = {"phase": "Available"}
+    return pv
+
+
+class _Harness:
+    def __init__(self):
+        self.sim = Simulation()
+        self.api = APIServer(self.sim, "cp")
+        self.client = Client(self.sim, self.api, ADMIN, qps=100000,
+                             burst=100000)
+        factory = InformerFactory(self.sim, self.client)
+        self.binder = PersistentVolumeBinder(self.sim, self.client, factory)
+        factory.start_all()
+        self.binder.start()
+        self.run(self.client.create(make_namespace("default")))
+        self.settle()
+
+    def run(self, coroutine):
+        return self.sim.run(until=self.sim.process(coroutine))
+
+    def settle(self, seconds=3.0):
+        self.sim.run(until=self.sim.now + seconds)
+
+    def get(self, plural, name, namespace=None):
+        return self.run(self.client.get(plural, name, namespace=namespace))
+
+
+@pytest.fixture
+def harness():
+    return _Harness()
+
+
+class TestStaticBinding:
+    def test_claim_binds_to_available_volume(self, harness):
+        harness.run(harness.client.create(make_pv("vol-1")))
+        harness.run(harness.client.create(make_pvc("claim-1")))
+        harness.settle()
+        pvc = harness.get("persistentvolumeclaims", "claim-1",
+                          namespace="default")
+        assert pvc.phase == "Bound"
+        assert pvc.spec["volumeName"] == "vol-1"
+        pv = harness.get("persistentvolumes", "vol-1")
+        assert pv.status["phase"] == "Bound"
+        assert pv.spec["claimRef"]["name"] == "claim-1"
+
+    def test_too_small_volume_not_bound(self, harness):
+        harness.run(harness.client.create(make_pv("small", storage="1Gi")))
+        harness.run(harness.client.create(make_pvc("big-claim",
+                                                   storage="10Gi")))
+        harness.settle()
+        pvc = harness.get("persistentvolumeclaims", "big-claim",
+                          namespace="default")
+        assert pvc.phase == "Pending"
+
+    def test_smallest_fitting_volume_chosen(self, harness):
+        harness.run(harness.client.create(make_pv("huge", storage="100Gi")))
+        harness.run(harness.client.create(make_pv("snug", storage="2Gi")))
+        harness.run(harness.client.create(make_pvc("claim",
+                                                   storage="2Gi")))
+        harness.settle()
+        pvc = harness.get("persistentvolumeclaims", "claim",
+                          namespace="default")
+        assert pvc.spec["volumeName"] == "snug"
+
+    def test_storage_class_must_match(self, harness):
+        harness.run(harness.client.create(make_pv("generic")))
+        harness.run(harness.client.create(make_pvc("classy",
+                                                   storage_class="ssd")))
+        harness.settle()
+        pvc = harness.get("persistentvolumeclaims", "classy",
+                          namespace="default")
+        assert pvc.phase == "Pending"
+
+    def test_volume_bound_once(self, harness):
+        harness.run(harness.client.create(make_pv("single")))
+        harness.run(harness.client.create(make_pvc("first")))
+        harness.run(harness.client.create(make_pvc("second")))
+        harness.settle()
+        first = harness.get("persistentvolumeclaims", "first",
+                            namespace="default")
+        second = harness.get("persistentvolumeclaims", "second",
+                             namespace="default")
+        assert sorted([first.phase, second.phase]) == ["Bound", "Pending"]
+
+    def test_pending_claim_binds_when_volume_appears(self, harness):
+        harness.run(harness.client.create(make_pvc("patient")))
+        harness.settle()
+        assert harness.get("persistentvolumeclaims", "patient",
+                           namespace="default").phase == "Pending"
+        harness.run(harness.client.create(make_pv("late-volume")))
+        harness.settle()
+        assert harness.get("persistentvolumeclaims", "patient",
+                           namespace="default").phase == "Bound"
+
+
+class TestDynamicProvisioning:
+    def test_provisioner_creates_volume(self, harness):
+        storage_class = StorageClass()
+        storage_class.metadata.name = "fast-ssd"
+        storage_class.provisioner = "ebs.csi"
+        harness.run(harness.client.create(storage_class))
+        harness.run(harness.client.create(
+            make_pvc("dynamic", storage="5Gi", storage_class="fast-ssd")))
+        harness.settle()
+        pvc = harness.get("persistentvolumeclaims", "dynamic",
+                          namespace="default")
+        assert pvc.phase == "Bound"
+        pv = harness.get("persistentvolumes", pvc.spec["volumeName"])
+        assert pv.spec["provisionedBy"] == "ebs.csi"
+        assert pv.spec["capacity"]["storage"] == "5Gi"
+        assert harness.binder.provisioned_count == 1
+
+    def test_class_without_provisioner_stays_pending(self, harness):
+        storage_class = StorageClass()
+        storage_class.metadata.name = "manual"
+        harness.run(harness.client.create(storage_class))
+        harness.run(harness.client.create(
+            make_pvc("manual-claim", storage_class="manual")))
+        harness.settle()
+        assert harness.get("persistentvolumeclaims", "manual-claim",
+                           namespace="default").phase == "Pending"

@@ -1,0 +1,198 @@
+"""Unit tests for scheduler plugins and the sequential scheduling loop."""
+
+import pytest
+
+from repro.apiserver import ADMIN, APIServer
+from repro.clientgo import Client, InformerFactory
+from repro.config import DEFAULT_CONFIG
+from repro.objects import (
+    Taint,
+    Toleration,
+    make_namespace,
+    make_node,
+    make_pod,
+    with_anti_affinity,
+)
+from repro.scheduler import Scheduler
+from repro.scheduler.plugins import (
+    ClusterSnapshot,
+    InterPodAffinity,
+    NodeResourcesFit,
+    NodeSelectorMatch,
+    TaintToleration,
+)
+from repro.simkernel import Simulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+def snapshot(nodes, pods_by_node=None):
+    from repro.objects import Quantity, add_resource_lists
+
+    pods_by_node = pods_by_node or {}
+    usage = {}
+    for node_name, pods in pods_by_node.items():
+        total = {}
+        for pod in pods:
+            total = add_resource_lists(
+                total, add_resource_lists(pod.spec.total_requests(),
+                                          {"pods": Quantity.parse(1)}))
+        usage[node_name] = total
+    return ClusterSnapshot(nodes, pods_by_node, usage)
+
+
+class TestFilters:
+    def test_resources_fit_accepts(self):
+        node = make_node("n1", cpu="4")
+        pod = make_pod("p", cpu="2")
+        assert NodeResourcesFit().filter(pod, node, snapshot([node])) is None
+
+    def test_resources_fit_rejects_overcommit(self):
+        node = make_node("n1", cpu="2", pods="10")
+        existing = make_pod("e", cpu="1500m", node_name="n1")
+        pod = make_pod("p", cpu="1")
+        result = NodeResourcesFit().filter(
+            pod, node, snapshot([node], {"n1": [existing]}))
+        assert result is not None
+
+    def test_pod_count_capacity(self):
+        node = make_node("n1", pods="1")
+        existing = make_pod("e", node_name="n1")
+        pod = make_pod("p")
+        result = NodeResourcesFit().filter(
+            pod, node, snapshot([node], {"n1": [existing]}))
+        assert result is not None
+
+    def test_node_selector(self):
+        node = make_node("n1", labels={"disk": "ssd"})
+        pod = make_pod("p")
+        pod.spec.node_selector = {"disk": "ssd"}
+        assert NodeSelectorMatch().filter(pod, node, snapshot([node])) is None
+        pod.spec.node_selector = {"disk": "hdd"}
+        assert NodeSelectorMatch().filter(pod, node,
+                                          snapshot([node])) is not None
+
+    def test_taint_toleration(self):
+        node = make_node("n1")
+        node.spec.taints = [Taint(key="dedicated", value="infra",
+                                  effect="NoSchedule")]
+        pod = make_pod("p")
+        assert TaintToleration().filter(pod, node,
+                                        snapshot([node])) is not None
+        pod.spec.tolerations = [Toleration(key="dedicated", value="infra",
+                                           effect="NoSchedule")]
+        assert TaintToleration().filter(pod, node, snapshot([node])) is None
+
+    def test_exists_toleration_tolerates_any_value(self):
+        node = make_node("n1")
+        node.spec.taints = [Taint(key="dedicated", value="x",
+                                  effect="NoSchedule")]
+        pod = make_pod("p")
+        pod.spec.tolerations = [Toleration(key="dedicated",
+                                           operator="Exists")]
+        assert TaintToleration().filter(pod, node, snapshot([node])) is None
+
+    def test_anti_affinity_rejects_conflicting_node(self):
+        node = make_node("n1")
+        existing = make_pod("a", labels={"app": "web"}, node_name="n1")
+        pod = with_anti_affinity(make_pod("b"), "app", "web")
+        result = InterPodAffinity().filter(
+            pod, node, snapshot([node], {"n1": [existing]}))
+        assert result == "anti-affinity conflict"
+
+    def test_anti_affinity_accepts_clean_node(self):
+        node = make_node("n2")
+        pod = with_anti_affinity(make_pod("b"), "app", "web")
+        assert InterPodAffinity().filter(pod, node, snapshot([node])) is None
+
+
+class _Harness:
+    """A tiny super cluster: apiserver + scheduler + N ready nodes."""
+
+    def __init__(self, sim, num_nodes=2, cpu="4"):
+        self.sim = sim
+        self.api = APIServer(sim, "super")
+        self.client = Client(sim, self.api, ADMIN, qps=100000, burst=100000)
+        factory = InformerFactory(sim, self.client)
+        self.scheduler = Scheduler(sim, self.client, factory,
+                                   DEFAULT_CONFIG)
+        self.run(self.client.create(make_namespace("default")))
+        for index in range(num_nodes):
+            self.run(self.client.create(make_node(f"n{index}", cpu=cpu,
+                                                  pods="500")))
+        factory.start_all()
+        self.scheduler.start()
+        sim.run(until=sim.now + 0.5)
+
+    def run(self, coroutine):
+        return self.sim.run(until=self.sim.process(coroutine))
+
+    def get_pod(self, name):
+        return self.run(self.client.get("pods", name, namespace="default"))
+
+
+class TestSchedulingLoop:
+    def test_pod_gets_bound(self, sim):
+        harness = _Harness(sim)
+        harness.run(harness.client.create(make_pod("p")))
+        sim.run(until=sim.now + 2)
+        assert harness.get_pod("p").spec.node_name in ("n0", "n1")
+        assert harness.scheduler.scheduled_count == 1
+
+    def test_spreading_across_nodes(self, sim):
+        harness = _Harness(sim, num_nodes=2)
+
+        def create_pods():
+            for i in range(4):
+                yield from harness.client.create(make_pod(f"p{i}",
+                                                          cpu="500m"))
+
+        harness.run(create_pods())
+        sim.run(until=sim.now + 3)
+        nodes = {harness.get_pod(f"p{i}").spec.node_name for i in range(4)}
+        assert nodes == {"n0", "n1"}
+
+    def test_unschedulable_pod_marked(self, sim):
+        harness = _Harness(sim, num_nodes=1, cpu="1")
+        harness.run(harness.client.create(make_pod("big", cpu="64")))
+        sim.run(until=sim.now + 2)
+        pod = harness.get_pod("big")
+        assert pod.spec.node_name is None
+        condition = pod.status.get_condition("PodScheduled")
+        assert condition.status == "False"
+        assert condition.reason == "Unschedulable"
+        assert harness.scheduler.failed_count >= 1
+
+    def test_unschedulable_pod_retries_when_capacity_appears(self, sim):
+        harness = _Harness(sim, num_nodes=1, cpu="1")
+        harness.run(harness.client.create(make_pod("big", cpu="8")))
+        sim.run(until=sim.now + 2)
+        assert harness.get_pod("big").spec.node_name is None
+        harness.run(harness.client.create(make_node("big-node", cpu="96",
+                                                    pods="500")))
+        sim.run(until=sim.now + 3)
+        assert harness.get_pod("big").spec.node_name == "big-node"
+
+    def test_anti_affinity_enforced_end_to_end(self, sim):
+        harness = _Harness(sim, num_nodes=2)
+        pod_a = make_pod("a", labels={"app": "web"})
+        pod_b = with_anti_affinity(make_pod("b", labels={"app": "web"}),
+                                   "app", "web")
+        harness.run(harness.client.create(pod_a))
+        sim.run(until=sim.now + 1)
+        harness.run(harness.client.create(pod_b))
+        sim.run(until=sim.now + 2)
+        node_a = harness.get_pod("a").spec.node_name
+        node_b = harness.get_pod("b").spec.node_name
+        assert node_a and node_b and node_a != node_b
+
+    def test_prebound_pod_not_rescheduled(self, sim):
+        harness = _Harness(sim)
+        harness.run(harness.client.create(make_pod("manual",
+                                                   node_name="n0")))
+        sim.run(until=sim.now + 1)
+        assert harness.get_pod("manual").spec.node_name == "n0"
+        assert harness.scheduler.scheduled_count == 0

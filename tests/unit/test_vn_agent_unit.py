@@ -1,0 +1,95 @@
+"""Pure unit tests for the vn-agent (stubbed kubelet and operator)."""
+
+import pytest
+
+from repro.apiserver import Credential, NotFound, Unauthorized
+from repro.core.crd import make_virtual_cluster, super_namespace
+from repro.core.vn_agent import VnAgent
+from repro.simkernel import Simulation
+
+
+class StubKubelet:
+    """Records the namespaces it is asked about."""
+
+    def __init__(self):
+        self.log_requests = []
+        self.exec_requests = []
+
+    def get_logs(self, namespace, pod_name, container_name=None, tail=None):
+        self.log_requests.append((namespace, pod_name, tail))
+        if pod_name == "ghost":
+            raise NotFound("no such pod")
+        return [f"log line from {namespace}/{pod_name}"]
+
+    def exec_in_pod(self, namespace, pod_name, command,
+                    container_name=None):
+        self.exec_requests.append((namespace, pod_name, tuple(command)))
+        yield from ()
+        return f"ran {' '.join(command)}"
+
+
+class StubOperator:
+    def __init__(self, mapping):
+        self._mapping = mapping  # cert_hash -> vc
+
+    def find_vc_by_cert_hash(self, cert_hash):
+        return self._mapping.get(cert_hash)
+
+
+@pytest.fixture
+def setup():
+    sim = Simulation()
+    vc = make_virtual_cluster("acme")
+    vc.metadata.uid = "uid-42"
+    credential = Credential("tenant-acme")
+    vc.status.cert_hash = credential.cert_hash
+    kubelet = StubKubelet()
+    operator = StubOperator({credential.cert_hash: vc})
+    agent = VnAgent(sim, "node-1", kubelet, operator)
+    return sim, agent, kubelet, credential, vc
+
+
+def run(sim, coroutine):
+    return sim.run(until=sim.process(coroutine))
+
+
+class TestVnAgentUnit:
+    def test_namespace_translated_to_prefixed(self, setup):
+        sim, agent, kubelet, credential, vc = setup
+        lines = run(sim, agent.logs(credential, "default", "web"))
+        assert lines == [f"log line from "
+                         f"{super_namespace(vc, 'default')}/web"]
+        namespace, _pod, _tail = kubelet.log_requests[0]
+        assert namespace == super_namespace(vc, "default")
+
+    def test_unknown_cert_rejected_before_kubelet(self, setup):
+        sim, agent, kubelet, _credential, _vc = setup
+        impostor = Credential("impostor")
+        with pytest.raises(Unauthorized):
+            run(sim, agent.logs(impostor, "default", "web"))
+        assert kubelet.log_requests == []
+        assert agent.requests_rejected == 1
+
+    def test_exec_proxied(self, setup):
+        sim, agent, kubelet, credential, vc = setup
+        result = run(sim, agent.exec(credential, "default", "web",
+                                     ["ls", "-l"]))
+        assert result == "ran ls -l"
+        assert kubelet.exec_requests[0] == (
+            super_namespace(vc, "default"), "web", ("ls", "-l"))
+
+    def test_missing_pod_propagates_not_found(self, setup):
+        sim, agent, _kubelet, credential, _vc = setup
+        with pytest.raises(NotFound):
+            run(sim, agent.logs(credential, "default", "ghost"))
+
+    def test_proxy_latency_charged(self, setup):
+        sim, agent, _kubelet, credential, _vc = setup
+        run(sim, agent.logs(credential, "default", "web"))
+        assert sim.now >= agent.proxy_latency
+
+    def test_request_counters(self, setup):
+        sim, agent, _kubelet, credential, _vc = setup
+        run(sim, agent.logs(credential, "default", "web", tail=5))
+        run(sim, agent.exec(credential, "default", "web", ["id"]))
+        assert agent.requests_proxied == 2
