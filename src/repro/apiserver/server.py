@@ -91,6 +91,12 @@ class WatchStream:
     def stop(self):
         self.closed = True
         self._watch.cancel()
+        # Deregister so a long-lived server doesn't accumulate dead
+        # streams (reflectors relist many times over a simulation).
+        try:
+            self._server._watch_streams.remove(self)
+        except ValueError:
+            pass
 
 
 class APIServer:
@@ -129,6 +135,9 @@ class APIServer:
         self._watch_streams = []
         self.request_count = 0
         self.healthy = True
+        # Chaos hook (see repro.chaos.faults): may inject per-verb errors
+        # or latency into the request path.
+        self.fault_injector = None
         # Optional idle-swap support (see repro.core.swapper): when set
         # and swapped out, the first request pays the page-in latency.
         self.swap_state = None
@@ -165,6 +174,8 @@ class APIServer:
             from .errors import ServerUnavailable
 
             raise ServerUnavailable(f"{self.name} is down")
+        if self.fault_injector is not None:
+            yield from self.fault_injector.on_request(verb, plural)
         self.request_count += 1
         if self.swap_state is not None:
             yield from self.swap_state.ensure_awake()
@@ -435,7 +446,7 @@ class APIServer:
     def crash(self):
         """Simulate an apiserver restart: all watches break."""
         self.healthy = False
-        for stream in self._watch_streams:
+        for stream in list(self._watch_streams):
             stream.stop()
         self._watch_streams = []
 

@@ -1,0 +1,50 @@
+"""Deterministic fault injection for the simulated VirtualCluster.
+
+The chaos engine composes *fault schedules* (one-shot, periodic, or
+random-within-seed) over *injection points* wired into the simulation:
+
+- apiserver request faults (per-verb error or latency injection);
+- etcd watch-stream drops and forced history compactions;
+- network partitions between the syncer and one tenant control plane;
+- syncer worker crashes (the watchdog must respawn them).
+
+Everything is driven by the simulation clock and the simulation RNG, so
+a chaos run is exactly reproducible from its seed.
+
+Typical use::
+
+    env = VirtualClusterEnv(num_virtual_nodes=3)
+    engine = ChaosEngine(env)
+    engine.add(OneShot(5.0), ApiServerCrash(env.syncer_cp_for(t), down=3.0))
+    engine.start()
+    ...
+    report = engine.report()
+"""
+
+from .engine import ChaosEngine, random_plan
+from .faults import (
+    ApiRequestFault,
+    ApiServerCrash,
+    Fault,
+    ForcedCompaction,
+    NetworkPartition,
+    WatchDrop,
+    WorkerCrash,
+)
+from .schedule import OneShot, Periodic, RandomWindows, Schedule
+
+__all__ = [
+    "ApiRequestFault",
+    "ApiServerCrash",
+    "ChaosEngine",
+    "Fault",
+    "ForcedCompaction",
+    "NetworkPartition",
+    "OneShot",
+    "Periodic",
+    "RandomWindows",
+    "Schedule",
+    "WatchDrop",
+    "WorkerCrash",
+    "random_plan",
+]

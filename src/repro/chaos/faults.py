@@ -1,0 +1,241 @@
+"""Injection points: *what* a fault does to the system under test.
+
+A fault is a pair of ``inject()`` / ``restore()`` hooks the engine calls
+when a schedule window opens / closes.  Faults touch only documented
+chaos hooks on the simulated components:
+
+======================  ==================================================
+fault                   hook
+======================  ==================================================
+ApiServerCrash          ``APIServer.crash()`` / ``recover()``
+ApiRequestFault         ``APIServer.fault_injector`` (per-verb error or
+                        latency on the request path)
+WatchDrop               ``WatchStream.stop()`` on the server's open
+                        streams (reflectors must relist)
+ForcedCompaction        ``EtcdStore.compact(keep=...)`` (watch replay
+                        from an old revision fails → relist)
+NetworkPartition        ``Client.fault_injector`` + ``sever_watches()``
+                        on one client (one link down, server healthy)
+WorkerCrash             ``Process.interrupt()`` on syncer workers (the
+                        watchdog must respawn them)
+======================  ==================================================
+
+Faults draw any randomness from the engine RNG handed to ``bind()``.
+"""
+
+from repro.apiserver.errors import ServerUnavailable
+
+
+class Fault:
+    """Base injection point."""
+
+    def __init__(self, name=None):
+        self.name = name or type(self).__name__
+        self.sim = None
+        self.rng = None
+        self.injections = 0
+
+    def bind(self, sim, rng):
+        """Called once by the engine before the first window."""
+        self.sim = sim
+        self.rng = rng
+
+    def inject(self):
+        raise NotImplementedError
+
+    def restore(self):
+        """Close the window (no-op for instantaneous faults)."""
+
+    def describe(self):
+        return self.name
+
+
+def _api_of(target):
+    """Accept an APIServer, a ControlPlane, or anything with ``.api``."""
+    return getattr(target, "api", target)
+
+
+class ApiServerCrash(Fault):
+    """Take one apiserver down for the window (all its watches break)."""
+
+    def __init__(self, target, name=None):
+        super().__init__(name=name or f"crash:{_api_of(target).name}")
+        self.api = _api_of(target)
+
+    def inject(self):
+        self.injections += 1
+        self.api.crash()
+
+    def restore(self):
+        self.api.recover()
+
+
+class ApiRequestFault(Fault):
+    """Per-verb error/latency injection on one apiserver's request path.
+
+    While active, a matching request fails with ``error_factory()`` with
+    probability ``error_rate`` and pays ``extra_latency`` seconds first.
+    Instances chain, so several request faults can overlap on one server.
+    """
+
+    def __init__(self, target, verbs=None, plurals=None, error_rate=1.0,
+                 extra_latency=0.0, error_factory=None, name=None):
+        api = _api_of(target)
+        super().__init__(name=name or f"reqfault:{api.name}")
+        self.api = api
+        self.verbs = frozenset(verbs) if verbs else None
+        self.plurals = frozenset(plurals) if plurals else None
+        self.error_rate = error_rate
+        self.extra_latency = extra_latency
+        self.error_factory = error_factory or (
+            lambda: ServerUnavailable(f"{self.name} injected"))
+        self._active = False
+        self._previous = None
+        self.errors_injected = 0
+        self.latency_injected = 0
+
+    def inject(self):
+        self.injections += 1
+        self._active = True
+        if self.api.fault_injector is not self:
+            self._previous = self.api.fault_injector
+            self.api.fault_injector = self
+
+    def restore(self):
+        self._active = False
+        if self.api.fault_injector is self:
+            self.api.fault_injector = self._previous
+            self._previous = None
+
+    def _matches(self, verb, plural):
+        if self.verbs is not None and verb not in self.verbs:
+            return False
+        if self.plurals is not None and plural not in self.plurals:
+            return False
+        return True
+
+    def on_request(self, verb, plural):
+        """Coroutine hook called by ``APIServer._begin``."""
+        if self._previous is not None:
+            yield from self._previous.on_request(verb, plural)
+        if not self._active or not self._matches(verb, plural):
+            return
+        if self.extra_latency:
+            self.latency_injected += 1
+            yield self.sim.timeout(self.extra_latency)
+        if self.error_rate >= 1.0 or self.rng.random() < self.error_rate:
+            self.errors_injected += 1
+            raise self.error_factory()
+
+    def describe(self):
+        parts = [self.name]
+        if self.verbs:
+            parts.append("verbs=" + ",".join(sorted(self.verbs)))
+        if self.error_rate < 1.0:
+            parts.append(f"p={self.error_rate:g}")
+        if self.extra_latency:
+            parts.append(f"+{self.extra_latency:g}s")
+        return " ".join(parts)
+
+
+class WatchDrop(Fault):
+    """Sever open watch streams on one apiserver (connection resets).
+
+    ``fraction`` selects how many of the currently open streams die; the
+    affected reflectors observe a closed channel and relist.
+    """
+
+    def __init__(self, target, fraction=1.0, name=None):
+        api = _api_of(target)
+        super().__init__(name=name or f"watchdrop:{api.name}")
+        self.api = api
+        self.fraction = fraction
+        self.streams_dropped = 0
+
+    def inject(self):
+        self.injections += 1
+        streams = [s for s in list(self.api._watch_streams) if not s.closed]
+        if self.fraction < 1.0:
+            count = max(1, int(len(streams) * self.fraction))
+            streams = self.rng.sample(streams, min(count, len(streams)))
+        for stream in streams:
+            stream.stop()
+            self.streams_dropped += 1
+
+
+class ForcedCompaction(Fault):
+    """Compact one etcd's watch history down to ``keep`` events.
+
+    A reflector that later tries to resume a watch from a pre-compaction
+    revision gets :class:`RevisionCompacted` and must relist.
+    """
+
+    def __init__(self, target, keep=0, name=None):
+        api = _api_of(target)
+        super().__init__(name=name or f"compact:{api.name}")
+        self.store = api.store
+        self.keep = keep
+
+    def inject(self):
+        self.injections += 1
+        self.store.compact(keep=self.keep)
+
+
+class NetworkPartition(Fault):
+    """Cut the link between one client and its apiserver.
+
+    The server stays healthy for everyone else; this client's requests
+    fail with :class:`ServerUnavailable` and its established watch
+    streams die with the link.  Pass the syncer's per-tenant client
+    (``syncer.tenants[key].client``) to model a syncer↔tenant partition.
+    """
+
+    def __init__(self, client, name=None):
+        super().__init__(
+            name=name or f"partition:{client.user_agent}")
+        self.client = client
+        self._active = False
+        self.requests_blocked = 0
+
+    def inject(self):
+        self.injections += 1
+        self._active = True
+        if self.client.fault_injector is not self:
+            self.client.fault_injector = self
+        self.client.sever_watches()
+
+    def restore(self):
+        self._active = False
+        if self.client.fault_injector is self:
+            self.client.fault_injector = None
+
+    def check(self):
+        """Synchronous hook called by ``Client._call`` / ``watch``."""
+        if self._active:
+            self.requests_blocked += 1
+            raise ServerUnavailable(f"{self.name}: link down")
+
+
+class WorkerCrash(Fault):
+    """Kill random syncer workers; the watchdog must respawn them."""
+
+    def __init__(self, syncer, count=1, labels=None, name=None):
+        super().__init__(name=name or f"workercrash:{syncer.name}")
+        self.syncer = syncer
+        self.count = count
+        self.labels = labels
+        self.workers_killed = 0
+
+    def inject(self):
+        self.injections += 1
+        pool = sorted(self.syncer.worker_processes)
+        if self.labels is not None:
+            pool = [label for label in pool if label in self.labels]
+        if not pool:
+            return
+        victims = self.rng.sample(pool, min(self.count, len(pool)))
+        for label in victims:
+            process = self.syncer.worker_processes.get(label)
+            if process is not None:
+                self.workers_killed += 1
+                process.interrupt(f"{self.name}: chaos kill")

@@ -37,6 +37,13 @@ class Client:
         self.cpu_account = cpu_account
         self._bucket = TokenBucket(sim, qps, burst,
                                    name=f"{user_agent}-qps")
+        # Chaos hook (see repro.chaos.faults.NetworkPartition): when set,
+        # requests from *this client only* can be failed, modelling a
+        # network partition between this client and its apiserver while
+        # the apiserver itself stays up for everyone else.
+        self.fault_injector = None
+        # Watch streams this client opened, so a partition can sever them.
+        self._watch_streams = []
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -50,6 +57,8 @@ class Client:
             if self.cpu_account is not None:
                 self.cpu_account.charge(0.00005, activity="marshal")
             try:
+                if self.fault_injector is not None:
+                    self.fault_injector.check()
                 result = yield from op(self.credential, *args, **kwargs)
                 return result
             except Exception as exc:  # noqa: BLE001 - classified below
@@ -96,7 +105,20 @@ class Client:
     def watch(self, plural, namespace=None, from_revision=None,
               label_selector=None, field_selector=None):
         """Open a watch (synchronous; server-side registration)."""
-        return self.api.watch(self.credential, plural, namespace=namespace,
-                              from_revision=from_revision,
-                              label_selector=label_selector,
-                              field_selector=field_selector)
+        if self.fault_injector is not None:
+            self.fault_injector.check()
+        stream = self.api.watch(self.credential, plural, namespace=namespace,
+                                from_revision=from_revision,
+                                label_selector=label_selector,
+                                field_selector=field_selector)
+        self._watch_streams = [s for s in self._watch_streams if not s.closed]
+        self._watch_streams.append(stream)
+        return stream
+
+    def sever_watches(self):
+        """Close every watch stream this client holds open (used by the
+        partition fault: an established stream dies with the link)."""
+        streams, self._watch_streams = self._watch_streams, []
+        for stream in streams:
+            if not stream.closed:
+                stream.stop()

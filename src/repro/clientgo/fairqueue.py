@@ -103,8 +103,9 @@ class FairWorkQueue:
         if item in self._processing:
             return
         self._enqueue_times.setdefault(item, self.sim.now)
-        if self._waiters:
-            self._dispatch(item, self._waiters.popleft())
+        waiter = self._pop_live_waiter()
+        if waiter is not None:
+            self._dispatch(item, waiter)
             return
         if self.fair:
             self._subqueues[tenant].append(key)
@@ -125,18 +126,37 @@ class FairWorkQueue:
         return event
 
     def done(self, tenant, key):
-        """Worker finished the item; re-queue if it went dirty meanwhile."""
+        """Worker finished the item; re-queue if it went dirty meanwhile.
+
+        Safe to call after :meth:`shutdown` or :meth:`remove_tenant` — a
+        late ``done()`` must never raise nor resurrect a removed tenant's
+        sub-queue.
+        """
         item = (tenant, key)
         self._processing.discard(item)
         if item in self._dirty:
             self._dirty.discard(item)
-            if not self._shutdown:
+            if not self._shutdown and (not self.fair
+                                       or tenant in self._subqueues):
                 self.add(tenant, key)
 
     def shutdown(self):
+        """Wake every blocked ``get()`` waiter with :class:`ShutDown`."""
         self._shutdown = True
         while self._waiters:
-            self._waiters.popleft().fail(ShutDown(self.name))
+            event = self._waiters.popleft()
+            if event.callbacks:
+                event.fail(ShutDown(self.name))
+
+    def _pop_live_waiter(self):
+        """Next waiter event that still has a process listening; a worker
+        interrupted while blocked in ``get()`` leaves a dead event behind,
+        and dispatching to it would strand the item as processing."""
+        while self._waiters:
+            event = self._waiters.popleft()
+            if event.callbacks:
+                return event
+        return None
 
     # ------------------------------------------------------------------
     # Internals

@@ -5,6 +5,11 @@ seeds the cache and establishes the start revision, then a WATCH streams
 changes.  On watch failure (apiserver restart, compacted revision) the
 reflector relists — the exact behaviour whose cost the paper measures in
 the syncer-restart experiment (§IV-C).
+
+Relists back off exponentially with deterministic jitter (seeded from the
+simulation RNG), so a down apiserver is not hammered at a fixed cadence
+and a thundering herd of reflectors decorrelates after a shared outage.
+A successful list resets the backoff.
 """
 
 from repro.apiserver.errors import ApiError
@@ -27,7 +32,8 @@ class Reflector:
 
     def __init__(self, sim, client, plural, delegate, namespace=None,
                  label_selector=None, field_selector=None,
-                 relist_backoff=1.0):
+                 relist_backoff=1.0, max_relist_backoff=30.0,
+                 backoff_jitter=0.5):
         self.sim = sim
         self.client = client
         self.plural = plural
@@ -36,9 +42,12 @@ class Reflector:
         self.label_selector = label_selector
         self.field_selector = field_selector
         self.relist_backoff = relist_backoff
+        self.max_relist_backoff = max_relist_backoff
+        self.backoff_jitter = backoff_jitter
         self.has_synced = False
         self.list_count = 0
         self.watch_failures = 0
+        self._consecutive_failures = 0
         self._stopped = False
         self._stream = None
         self._process = None
@@ -52,8 +61,17 @@ class Reflector:
         self._stopped = True
         if self._stream is not None:
             self._stream.stop()
+            self._stream = None
         if self._process is not None:
             self._process.interrupt("reflector stopped")
+
+    def next_backoff(self):
+        """Jittered exponential backoff for the next relist attempt."""
+        exp = min(self._consecutive_failures, 16)  # avoid silly exponents
+        base = min(self.relist_backoff * (2 ** exp), self.max_relist_backoff)
+        if self.backoff_jitter:
+            base *= 1.0 + self.backoff_jitter * self.sim.rng.random()
+        return base
 
     def run(self):
         """The list-then-watch loop."""
@@ -65,6 +83,7 @@ class Reflector:
                         label_selector=self.label_selector,
                         field_selector=self.field_selector)
                     self.list_count += 1
+                    self._consecutive_failures = 0
                     self.delegate.on_replace(items)
                     self.has_synced = True
                     self._stream = self.client.watch(
@@ -75,13 +94,25 @@ class Reflector:
                     yield from self._consume(self._stream)
                 except (ChannelClosed, RevisionCompacted):
                     self.watch_failures += 1
+                    self._consecutive_failures += 1
                 except ApiError:
                     self.watch_failures += 1
+                    self._consecutive_failures += 1
+                finally:
+                    # Never leave a dangling stream registered with the
+                    # apiserver/store across relists or interrupts.
+                    if self._stream is not None:
+                        self._stream.stop()
+                        self._stream = None
                 if self._stopped:
                     return
-                yield self.sim.timeout(self.relist_backoff)
+                yield self.sim.timeout(self.next_backoff())
         except Interrupt:
             return
+        finally:
+            if self._stream is not None:
+                self._stream.stop()
+                self._stream = None
 
     def _consume(self, stream):
         while not self._stopped:

@@ -61,10 +61,24 @@ class WorkQueue:
 
     def _push(self, item):
         self._enqueue_times.setdefault(item, self.sim.now)
-        if self._waiters:
-            self._dispatch(item, self._waiters.popleft())
+        waiter = self._pop_live_waiter()
+        if waiter is not None:
+            self._dispatch(item, waiter)
         else:
             self._queue.append(item)
+
+    def _pop_live_waiter(self):
+        """Next waiter that still has a process listening.
+
+        A worker interrupted while blocked in ``get()`` detaches from its
+        event but the event stays queued; dispatching an item to such a
+        dead waiter would strand the item in the processing set forever.
+        """
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.event.callbacks:
+                return waiter
+        return None
 
     def _dispatch(self, item, waiter):
         self._dirty.discard(item)
@@ -96,9 +110,16 @@ class WorkQueue:
                 self._dirty.discard(item)
 
     def shutdown(self):
+        """Wake every blocked ``get()`` waiter with :class:`ShutDown`.
+
+        Items already queued may still be drained; ``done()`` afterwards
+        is a no-op rather than an error.
+        """
         self._shutdown = True
         while self._waiters:
-            self._waiters.popleft().fail(ShutDown(self.name))
+            waiter = self._waiters.popleft()
+            if waiter.event.callbacks:
+                waiter.fail(ShutDown(self.name))
 
     def stats(self):
         return {
@@ -144,19 +165,33 @@ class DelayingQueue(WorkQueue):
 
 
 class RateLimitingQueue(DelayingQueue):
-    """DelayingQueue plus per-item exponential retry backoff."""
+    """DelayingQueue plus per-item jittered exponential retry backoff.
+
+    ``jitter`` stretches each delay by up to that fraction (drawn from the
+    simulation RNG, so runs stay deterministic per seed); it decorrelates
+    retry storms after a shared failure, like client-go's workqueue
+    ``ItemExponentialFailureRateLimiter`` combined with flowcontrol jitter.
+    """
 
     def __init__(self, sim, name="ratelimit-queue", base_delay=0.005,
-                 max_delay=10.0):
+                 max_delay=10.0, jitter=0.1):
         super().__init__(sim, name=name)
         self._base_delay = base_delay
         self._max_delay = max_delay
+        self._jitter = jitter
         self._failures = {}
 
-    def add_rate_limited(self, item):
-        failures = self._failures.get(item, 0)
-        self._failures[item] = failures + 1
+    def backoff_for(self, item):
+        """The (jittered, capped) delay the next retry of ``item`` pays."""
+        failures = min(self._failures.get(item, 0), 32)
         delay = min(self._base_delay * (2 ** failures), self._max_delay)
+        if self._jitter:
+            delay *= 1.0 + self._jitter * self.sim.rng.random()
+        return delay
+
+    def add_rate_limited(self, item):
+        delay = self.backoff_for(item)
+        self._failures[item] = self._failures.get(item, 0) + 1
         self.add_after(item, delay)
 
     def forget(self, item):

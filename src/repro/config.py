@@ -57,6 +57,15 @@ class SyncerLatency:
     default_dws_workers: int = 20
     default_uws_workers: int = 100
     scan_interval: float = 60.0
+    # Per-tenant circuit breaker (fail fast when a tenant control plane
+    # is unreachable instead of blocking shared workers).
+    breaker_failure_threshold: int = 3
+    breaker_open_duration: float = 2.0     # initial open period before probing
+    breaker_max_open_duration: float = 30.0
+    # Worker watchdog: respawn dead DWS/UWS workers with crash-loop backoff.
+    watchdog_base_backoff: float = 0.25
+    watchdog_max_backoff: float = 15.0
+    watchdog_stable_after: float = 30.0    # uptime that resets the backoff
 
 
 @dataclass

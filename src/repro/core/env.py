@@ -101,7 +101,8 @@ class VirtualClusterEnv:
     def __init__(self, seed=0, config=None, num_virtual_nodes=0,
                  num_real_nodes=0, fair_queuing=True, dws_workers=None,
                  uws_workers=None, scan_interval=None,
-                 vc_namespace="vc-manager", sim=None, name="super"):
+                 vc_namespace="vc-manager", sim=None, name="super",
+                 circuit_breaker=True):
         self.sim = sim or Simulation(seed=seed)
         self.name = name
         self.config = config or DEFAULT_CONFIG
@@ -121,7 +122,7 @@ class VirtualClusterEnv:
             self.sim, self.super_cluster, config=self.config,
             fair_queuing=fair_queuing, dws_workers=dws_workers,
             uws_workers=uws_workers, scan_interval=scan_interval,
-            name=syncer_name)
+            name=syncer_name, circuit_breaker=circuit_breaker)
         self.syncer.start()
         self.tenants = {}
         self._num_virtual_nodes = num_virtual_nodes

@@ -9,7 +9,13 @@ gone by the time its event is handled; the periodic scanner remediates
 anything that slips through).
 """
 
-from repro.apiserver.errors import AlreadyExists, ApiError, Conflict, NotFound
+from repro.apiserver.errors import (
+    AlreadyExists,
+    ApiError,
+    Conflict,
+    NotFound,
+    is_retryable,
+)
 from repro.objects import Namespace
 
 from ..crd import super_namespace
@@ -357,8 +363,13 @@ class EventUpward(UpwardReconciler):
             yield from registration.client.create(translated)
         except AlreadyExists:
             pass
-        except ApiError:
+        except ApiError as exc:
             self.syncer.metrics_inc("uws_event_drop")
+            if is_retryable(exc):
+                # An unreachable tenant control plane must surface to the
+                # worker (it feeds the circuit breaker); only non-retryable
+                # races are best-effort drops.
+                raise
 
 
 class EndpointsUpward(UpwardReconciler):

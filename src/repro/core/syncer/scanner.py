@@ -26,6 +26,8 @@ class PeriodicScanner:
         self.mismatches_found = 0
         self.last_scan_duration = 0.0
         self.objects_scanned_total = 0
+        self.upward_status_mismatches = 0
+        self.vnode_mismatches = 0
 
     def start_tenant(self, tenant):
         if tenant in self._processes:
@@ -97,6 +99,40 @@ class PeriodicScanner:
                 if origin_key not in tenant_cache:
                     mismatches += 1
                     self.syncer.enqueue_downward(tenant, plural, origin_key)
+
+        # Upward direction: pod statuses the UWS may have missed (e.g. a
+        # super pod went Ready while the tenant CP was unreachable and
+        # the retry budget ran out).
+        tenant_pods = self.syncer.tenant_informer(tenant, "pods").cache
+        super_pods = self.syncer.super_informer("pods").cache
+        for super_obj in super_pods.items():
+            if not is_managed(super_obj):
+                continue
+            if not self.syncer.owns(tenant, super_obj):
+                continue
+            origin_key = tenant_key(super_obj)
+            if origin_key is None:
+                continue
+            tenant_obj = tenant_pods.get(origin_key)
+            if tenant_obj is None:
+                continue  # orphan: the downward scan handles it
+            scanned += 1
+            yield self.sim.timeout(cfg.scan_per_object)
+            self.syncer.cpu.charge(cfg.scan_per_object, activity="scan")
+            if (super_obj.status.phase != tenant_obj.status.phase
+                    or super_obj.status.is_ready
+                    != tenant_obj.status.is_ready):
+                mismatches += 1
+                self.upward_status_mismatches += 1
+                self.syncer.enqueue_upward(tenant, "pods", super_obj.key)
+
+        # vNode direction: tenant vNodes must track current bindings
+        # (a missed removal leaves a stale vNode; a failed create leaves
+        # a bound node without one).
+        fixed = yield from self.syncer.vnodes.reconcile_tenant(tenant)
+        if fixed:
+            mismatches += fixed
+            self.vnode_mismatches += fixed
 
         self.scans_completed += 1
         self.mismatches_found += mismatches

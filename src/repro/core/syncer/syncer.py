@@ -45,6 +45,7 @@ from .reconcilers import (
     ServiceDownward,
 )
 from .crd_sync import CrdSyncManager
+from .health import HealthTracker
 from .scanner import PeriodicScanner
 from .tracing import TraceStore
 from .vnode import VNodeManager
@@ -55,9 +56,11 @@ SUPER_WATCHED = (
     "serviceaccounts", "persistentvolumeclaims", "resourcequotas",
     "endpoints", "nodes", "events", "persistentvolumes", "storageclasses",
 )
-# Tenant-side resources the syncer watches per tenant.
+# Tenant-side resources the syncer watches per tenant.  "nodes" is
+# watch-only: it feeds the scanner's stale-vNode detection (vNodes live
+# in the tenant control plane but are managed by the vNode manager).
 TENANT_WATCHED = DOWNWARD_TYPES + ("endpoints", "persistentvolumes",
-                                   "storageclasses")
+                                   "storageclasses", "nodes")
 
 
 class TenantRegistration:
@@ -78,12 +81,13 @@ class Syncer:
 
     def __init__(self, sim, super_cluster, config=None, fair_queuing=True,
                  dws_workers=None, uws_workers=None, vn_agent_port=10550,
-                 name="syncer", scan_interval=None):
+                 name="syncer", scan_interval=None, circuit_breaker=True):
         self.sim = sim
         self.super_cluster = super_cluster
         self.config = config or DEFAULT_CONFIG
         self.name = name
         self.fair_queuing = fair_queuing
+        self.circuit_breaker = circuit_breaker
         self.vn_agent_port = vn_agent_port
         cfg = self.config.syncer
         self.dws_workers = dws_workers or cfg.default_dws_workers
@@ -118,6 +122,11 @@ class Syncer:
         self.scanner = PeriodicScanner(
             self, interval=scan_interval or cfg.scan_interval)
         self.counters = {}
+        self.health = HealthTracker(self, enabled=circuit_breaker)
+        # label -> live worker Process, maintained by the supervisors.
+        self.worker_processes = {}
+        # label -> respawn count (watchdog restarts after crashes).
+        self.worker_restarts = {}
 
         self.downward_reconcilers = self._build_downward_reconcilers()
         self.upward_reconcilers = self._build_upward_reconcilers()
@@ -269,6 +278,7 @@ class Syncer:
         if registration is None:
             return
         self.crd_sync.drop_tenant(tenant)
+        self.health.drop_tenant(tenant)
         self.scanner.stop_tenant(tenant)
         registration.informers.stop_all()
         self.downward.remove_tenant(tenant)
@@ -432,11 +442,15 @@ class Syncer:
         for registration in self.tenants.values():
             registration.informers.start_all()
         for index in range(self.dws_workers):
+            label = f"{self.name}-dws-{index}"
             self._processes.append(self.spawn(
-                self._dws_worker(), name=f"{self.name}-dws-{index}"))
+                self._supervise(label, self._dws_worker),
+                name=f"{label}-watchdog"))
         for index in range(self.uws_workers):
+            label = f"{self.name}-uws-{index}"
             self._processes.append(self.spawn(
-                self._uws_worker(), name=f"{self.name}-uws-{index}"))
+                self._supervise(label, self._uws_worker),
+                name=f"{label}-watchdog"))
         for tenant in self.tenants:
             self.scanner.start_tenant(tenant)
         self.vnodes.start()
@@ -449,9 +463,13 @@ class Syncer:
         self.upward.shutdown()
         self.scanner.stop()
         self.vnodes.stop()
+        self.health.stop()
         for process in self._processes:
             process.interrupt("syncer stopped")
         self._processes = []
+        for worker in list(self.worker_processes.values()):
+            worker.interrupt("syncer stopped")
+        self.worker_processes = {}
         self.super_informers.stop_all()
         for registration in self.tenants.values():
             registration.informers.stop_all()
@@ -493,6 +511,42 @@ class Syncer:
     # Workers
     # ------------------------------------------------------------------
 
+    def _supervise(self, label, factory):
+        """Watchdog: keep one worker alive under ``label``.
+
+        A worker that dies (chaos crash, unexpected exception) while the
+        syncer is running is respawned after a crash-loop backoff; a long
+        stable run resets the backoff.  Restart counts are exported via
+        :attr:`worker_restarts` and the ``worker_restarts`` counter.
+        """
+        cfg = self.config.syncer
+        backoff = cfg.watchdog_base_backoff
+        while not self._stopped:
+            worker = self.spawn(factory(), name=label)
+            self.worker_processes[label] = worker
+            started = self.sim.now
+            try:
+                yield worker
+            except Interrupt:
+                return  # the syncer is stopping; the worker is handled there
+            except Exception:
+                self.metrics_inc("worker_crashes")
+            finally:
+                if self.worker_processes.get(label) is worker:
+                    del self.worker_processes[label]
+            if self._stopped:
+                return
+            self.worker_restarts[label] = (
+                self.worker_restarts.get(label, 0) + 1)
+            self.metrics_inc("worker_restarts")
+            if self.sim.now - started >= cfg.watchdog_stable_after:
+                backoff = cfg.watchdog_base_backoff
+            try:
+                yield self.sim.timeout(backoff)
+            except Interrupt:
+                return
+            backoff = min(backoff * 2, cfg.watchdog_max_backoff)
+
     def _dws_worker(self):
         cfg = self.config.syncer
         while not self._stopped:
@@ -501,6 +555,13 @@ class Syncer:
             except (ShutDown, Interrupt):
                 return
             plural, key = item
+            if not self.health.allow(tenant):
+                # Circuit open: fail fast so this shared worker stays
+                # available to healthy tenants; the item is parked and
+                # re-enqueued when the tenant's probe succeeds.
+                self.health.park(tenant, "downward", item)
+                self.downward.done(tenant, item)
+                continue
             try:
                 # Serialized dequeue critical section (lock contention is
                 # the syncer's throughput limiter under burst).
@@ -520,11 +581,15 @@ class Syncer:
                               or self.downward_reconcilers.get(plural))
                 if reconciler is not None:
                     yield from reconciler.sync_down(tenant, key)
+                self.health.record_success(tenant)
             except Interrupt:
                 return
-            except ApiError:
+            except ApiError as exc:
                 self.metrics_inc("dws_api_error")
-                self.downward.add(tenant, item)
+                if self.health.record_failure(tenant, exc):
+                    self.health.park(tenant, "downward", item)
+                else:
+                    self.downward.add(tenant, item)
             finally:
                 self.downward.done(tenant, item)
 
@@ -536,6 +601,10 @@ class Syncer:
             except (ShutDown, Interrupt):
                 return
             plural, key = item
+            if not self.health.allow(tenant):
+                self.health.park(tenant, "upward", item)
+                self.upward.done(tenant, item)
+                continue
             try:
                 yield self.uws_lock.acquire()
                 try:
@@ -558,11 +627,15 @@ class Syncer:
                 reconciler = self.upward_reconcilers.get(plural)
                 if reconciler is not None:
                     yield from reconciler.sync_up(tenant, key)
+                self.health.record_success(tenant)
             except Interrupt:
                 return
-            except ApiError:
+            except ApiError as exc:
                 self.metrics_inc("uws_api_error")
-                self.upward.add(tenant, item)
+                if self.health.record_failure(tenant, exc):
+                    self.health.park(tenant, "upward", item)
+                else:
+                    self.upward.add(tenant, item)
             finally:
                 self.upward.done(tenant, item)
 
@@ -589,4 +662,7 @@ class Syncer:
             "peak_memory_bytes": self.mem.peak,
             "traces": len(self.trace_store),
             "counters": dict(self.counters),
+            "health": self.health.stats(),
+            "parked_items": self.health.parked_count(),
+            "worker_restarts": dict(self.worker_restarts),
         }

@@ -89,6 +89,32 @@ class VNodeManager:
         except ApiError:
             self._created.discard((tenant, node_name))
 
+    def reconcile_tenant(self, tenant):
+        """Coroutine: converge the tenant's vNode set with the bindings.
+
+        Used by the periodic scanner to remediate stale vNodes: a vNode
+        whose last pod is gone but whose removal was missed, or a bound
+        node whose vNode creation failed.  Returns the number fixed.
+        """
+        registration = self.syncer.tenants.get(tenant)
+        if registration is None:
+            return 0
+        expected = set(self.vnodes_for(tenant))
+        cache = self.syncer.tenant_informer(tenant, "nodes").cache
+        present = set()
+        for node in list(cache.items()):
+            if (node.metadata.labels or {}).get(VNODE_LABEL) == "true":
+                present.add(node.metadata.name)
+        fixed = 0
+        for name in sorted(present - expected):
+            fixed += 1
+            yield from self._remove_vnode(tenant, name)
+        for name in sorted(expected - present):
+            fixed += 1
+            self._created.discard((tenant, name))
+            yield from self.ensure_vnode(tenant, name)
+        return fixed
+
     def _remove_vnode(self, tenant, node_name):
         if self.bound_pods(tenant, node_name):
             return  # re-bound in the meantime
@@ -123,6 +149,10 @@ class VNodeManager:
             for tenant, nodes in list(self._bindings.items()):
                 registration = self.syncer.tenants.get(tenant)
                 if registration is None:
+                    continue
+                if not self.syncer.health.allow(tenant):
+                    # Circuit open: skip heartbeats into a dead tenant CP
+                    # instead of eating client retries per vNode per tick.
                     continue
                 for node_name in list(nodes):
                     super_node = self.syncer.super_informer(

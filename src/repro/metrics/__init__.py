@@ -4,6 +4,7 @@ from .reporting import (
     format_bucket_table,
     format_histogram,
     format_phase_breakdown,
+    format_syncer_health,
     format_table,
     summarize,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "format_bucket_table",
     "format_histogram",
     "format_phase_breakdown",
+    "format_syncer_health",
     "format_table",
     "summarize",
 ]

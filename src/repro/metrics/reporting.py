@@ -73,6 +73,34 @@ def format_bucket_table(phase_buckets, bucket_width=2.0,
     return format_table(headers, rows, title=title)
 
 
+def format_syncer_health(syncer, title="Syncer health"):
+    """Render per-tenant circuit state plus watchdog restart counts.
+
+    One row per tenant the syncer has health data for: breaker state,
+    consecutive failures, total opens/probes, items currently parked,
+    and accumulated time in a degraded (non-closed) state.  A trailing
+    section lists worker restart counts from the watchdog.
+    """
+    rows = [
+        [tenant, entry["state"], entry["consecutive_failures"],
+         entry["opens_total"], entry["probes_total"], entry["parked"],
+         entry["time_degraded"]]
+        for tenant, entry in sorted(syncer.health.stats().items())
+    ]
+    if not rows:
+        rows = [["(no tenants)", "-", 0, 0, 0, 0, 0.0]]
+    table = format_table(
+        ["tenant", "circuit", "consec", "opens", "probes", "parked",
+         "degraded (s)"],
+        rows, title=title)
+    restarts = syncer.worker_restarts
+    total = sum(restarts.values())
+    lines = [table, f"worker restarts: {total}"]
+    for label, count in sorted(restarts.items()):
+        lines.append(f"  {label}: {count}")
+    return "\n".join(lines)
+
+
 def summarize(result):
     """One-line summary of a StressResult."""
     return (f"{result.mode}: pods={result.num_pods} "

@@ -93,6 +93,53 @@ class TestScannerRemediation:
 
         env.run_until(orphan_gone, timeout=60)
 
+    def test_scanner_remediates_missed_upward_status(self, env, tenant):
+        """A lost upward status write: the super pod is Ready but the
+        tenant pod regressed behind the UWS's back; the scan re-enqueues
+        the upward sync."""
+        env.run_coroutine(tenant.create_pod("statusless"))
+        env.run_until_pods_ready(tenant, ["default/statusless"], timeout=60)
+
+        def regress():
+            pod = yield from tenant.get_pod("statusless")
+            pod.status.phase = "Pending"
+            pod.status.conditions = []
+            yield from tenant.client.update_status(pod)
+
+        # A status-only change produces no downward work and no super
+        # event, so nothing but the scanner can repair it.
+        env.run_coroutine(regress())
+
+        def ready_again():
+            pod = env.run_coroutine(tenant.get_pod("statusless"))
+            return pod.status.is_ready
+
+        env.run_until(ready_again, timeout=60)
+        assert env.syncer.scanner.upward_status_mismatches >= 1
+
+    def test_scanner_removes_stale_vnode(self, env, tenant):
+        """A vNode whose removal was missed must be garbage-collected."""
+        env.run_coroutine(tenant.create_pod("pinned"))
+        env.run_until_pods_ready(tenant, ["default/pinned"], timeout=60)
+        vnodes = env.syncer.vnodes.vnodes_for(tenant.key)
+        assert vnodes  # the bound pod created its vNode
+        node = vnodes[0]
+
+        # Simulate a lost removal: drop the binding record behind the
+        # manager's back, leaving the tenant-side vNode object orphaned.
+        env.syncer.vnodes._bindings[tenant.key].pop(node)
+        assert env.run_coroutine(tenant.client.get("nodes", node)) is not None
+
+        def vnode_gone():
+            try:
+                env.run_coroutine(tenant.client.get("nodes", node))
+                return False
+            except NotFound:
+                return True
+
+        env.run_until(vnode_gone, timeout=60)
+        assert env.syncer.scanner.vnode_mismatches >= 1
+
     def test_scan_duration_tracked(self, env, tenant):
         env.run_coroutine(tenant.create_pod("p"))
         env.run_until_pods_ready(tenant, ["default/p"], timeout=60)

@@ -186,3 +186,217 @@ class TestInformer:
         factory = InformerFactory(sim, client)
         assert factory.informer("pods") is factory.informer("pods")
         assert factory.informer("pods") is not factory.informer("services")
+
+
+class TestWorkQueueShutdown:
+    """Shutdown-path audit: waiters wake, late done() never raises."""
+
+    def test_shutdown_wakes_blocked_waiters(self, sim):
+        from repro.clientgo import ShutDown, WorkQueue
+
+        queue = WorkQueue(sim)
+        outcomes = []
+
+        def worker():
+            try:
+                yield queue.get()
+            except ShutDown:
+                outcomes.append("shutdown")
+
+        for _ in range(3):
+            sim.spawn(worker())
+        sim.run(until=sim.now + 0.1)
+        queue.shutdown()
+        sim.run(until=sim.now + 0.1)
+        assert outcomes == ["shutdown", "shutdown", "shutdown"]
+
+    def test_done_after_shutdown_is_noop(self, sim):
+        from repro.clientgo import WorkQueue
+
+        queue = WorkQueue(sim)
+        queue.add("a")
+
+        def worker():
+            item, _t = yield queue.get()
+            queue.add(item)  # goes dirty while processing
+            queue.shutdown()
+            queue.done(item)  # must not raise nor re-queue
+
+        sim.run(until=sim.spawn(worker()))
+        assert len(queue) == 0
+        assert not queue._dirty
+
+    def test_interrupted_waiter_does_not_swallow_items(self, sim):
+        """A worker interrupted while blocked in get() leaves a dead
+        event queued; items must skip it and reach live consumers."""
+        from repro.clientgo import WorkQueue
+
+        queue = WorkQueue(sim)
+        got = []
+
+        def doomed():
+            try:
+                yield queue.get()
+            except Exception:
+                return
+
+        def survivor():
+            item, _t = yield queue.get()
+            got.append(item)
+            queue.done(item)
+
+        victim = sim.spawn(doomed())
+        sim.run(until=sim.now + 0.05)
+        victim.interrupt("killed while waiting")
+        sim.run(until=sim.now + 0.05)
+        sim.spawn(survivor())
+        sim.run(until=sim.now + 0.05)
+        queue.add("x")
+        sim.run(until=sim.now + 0.05)
+        assert got == ["x"]
+        assert not queue._processing
+
+    def test_fair_queue_interrupted_waiter_and_shutdown(self, sim):
+        from repro.clientgo import FairWorkQueue, ShutDown
+
+        queue = FairWorkQueue(sim)
+        queue.register_tenant("t1")
+        got, outcomes = [], []
+
+        def doomed():
+            try:
+                yield queue.get()
+            except Exception:
+                return
+
+        def survivor():
+            try:
+                tenant, key, _t = yield queue.get()
+                got.append((tenant, key))
+                queue.done(tenant, key)
+            except ShutDown:
+                outcomes.append("shutdown")
+
+        victim = sim.spawn(doomed())
+        sim.run(until=sim.now + 0.05)
+        victim.interrupt("killed while waiting")
+        sim.run(until=sim.now + 0.05)
+        sim.spawn(survivor())
+        sim.run(until=sim.now + 0.05)
+        queue.add("t1", "k")
+        sim.run(until=sim.now + 0.05)
+        assert got == [("t1", "k")]
+
+        blocked = sim.spawn(survivor())
+        sim.run(until=sim.now + 0.05)
+        queue.shutdown()
+        sim.run(until=sim.now + 0.05)
+        assert not blocked.is_alive
+        assert outcomes == ["shutdown"]
+
+    def test_fair_queue_done_after_remove_tenant(self, sim):
+        """A late done() must not resurrect a removed tenant's queue."""
+        from repro.clientgo import FairWorkQueue
+
+        queue = FairWorkQueue(sim)
+        queue.add("t1", "k")
+
+        def worker():
+            tenant, key, _t = yield queue.get()
+            queue.add(tenant, key)  # dirty while processing
+            queue.remove_tenant(tenant)
+            queue.done(tenant, key)  # must not re-register t1
+
+        sim.run(until=sim.spawn(worker()))
+        assert "t1" not in queue.tenants
+        assert len(queue) == 0
+
+    def test_fair_queue_done_after_shutdown(self, sim):
+        from repro.clientgo import FairWorkQueue
+
+        queue = FairWorkQueue(sim)
+        queue.add("t1", "k")
+
+        def worker():
+            tenant, key, _t = yield queue.get()
+            queue.add(tenant, key)
+            queue.shutdown()
+            queue.done(tenant, key)  # no raise, no re-queue
+
+        sim.run(until=sim.spawn(worker()))
+        assert len(queue) == 0
+
+
+class TestReflectorStop:
+    def test_stop_during_inflight_list_leaves_no_streams(self, sim, api,
+                                                         client):
+        """stop() while the initial LIST is in flight must not leak the
+        watch stream or the server/store registrations."""
+        bootstrap(sim, client)
+        run(sim, client.create(make_pod("p")))
+        informer = SharedInformer(sim, client, "pods")
+        informer.start()
+        # A hair of sim time: inside the LIST, before the WATCH opens.
+        sim.run(until=sim.now + 1e-6)
+        assert not informer.has_synced
+        informer.stop()
+        sim.run(until=sim.now + 2.0)
+        assert api._watch_streams == []
+        assert len(api.store._watches) == 0
+        assert not informer.has_synced  # never completed a list
+
+    def test_stop_after_sync_unregisters_stream(self, sim, api, client):
+        bootstrap(sim, client)
+        informer = SharedInformer(sim, client, "pods")
+        informer.start()
+        sim.run(until=sim.now + 1.0)
+        assert informer.has_synced
+        assert len(api._watch_streams) == 1
+        informer.stop()
+        sim.run(until=sim.now + 1.0)
+        assert api._watch_streams == []
+        assert len(api.store._watches) == 0
+
+    def test_repeated_crash_relists_do_not_accumulate_streams(self, sim, api,
+                                                              client):
+        """Reflector relists after each crash; dead streams must be
+        deregistered rather than pile up on the server."""
+        bootstrap(sim, client)
+        informer = SharedInformer(sim, client, "pods")
+        informer.start()
+        sim.run(until=sim.now + 1.0)
+        for _ in range(3):
+            api.crash()
+            sim.run(until=sim.now + 0.5)
+            api.recover()
+            sim.run(until=sim.now + 8.0)  # ride out relist backoff
+        assert informer.has_synced
+        assert len(api._watch_streams) == 1
+        assert len(api.store._watches) == 1
+
+    def test_relist_backoff_grows_and_resets(self, sim, api, client):
+        from repro.clientgo import Reflector
+
+        class NullDelegate:
+            def on_replace(self, objs):
+                pass
+
+            def on_event(self, kind, obj):
+                pass
+
+        bootstrap(sim, client)
+        reflector = Reflector(sim, client, "pods", NullDelegate(),
+                              relist_backoff=1.0, max_relist_backoff=8.0,
+                              backoff_jitter=0.0)
+        reflector._consecutive_failures = 0
+        assert reflector.next_backoff() == 1.0
+        reflector._consecutive_failures = 2
+        assert reflector.next_backoff() == 4.0
+        reflector._consecutive_failures = 10
+        assert reflector.next_backoff() == 8.0  # capped
+        jittered = Reflector(sim, client, "pods", NullDelegate(),
+                             relist_backoff=1.0, max_relist_backoff=8.0,
+                             backoff_jitter=0.5)
+        jittered._consecutive_failures = 1
+        delay = jittered.next_backoff()
+        assert 2.0 <= delay <= 3.0

@@ -161,7 +161,8 @@ class TestDelayingQueue:
 
 class TestRateLimitingQueue:
     def test_backoff_grows_exponentially(self, sim):
-        queue = RateLimitingQueue(sim, base_delay=1.0, max_delay=100.0)
+        queue = RateLimitingQueue(sim, base_delay=1.0, max_delay=100.0,
+                                  jitter=0.0)
         times = []
 
         def worker():
@@ -185,7 +186,8 @@ class TestRateLimitingQueue:
         assert queue.num_requeues("x") == 0
 
     def test_max_delay_cap(self, sim):
-        queue = RateLimitingQueue(sim, base_delay=1.0, max_delay=4.0)
+        queue = RateLimitingQueue(sim, base_delay=1.0, max_delay=4.0,
+                                  jitter=0.0)
         for _ in range(10):
             queue.num_requeues("x")
             queue._failures["x"] = queue._failures.get("x", 0) + 1
