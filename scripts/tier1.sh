@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the fast correctness suite plus (when available) a
+# coverage floor.
+#
+# Usage:  scripts/tier1.sh [extra pytest args...]
+#
+# Runs the tier1-marked tests (every test except the long soak runs)
+# exactly as the CI gate does.  The coverage floor is enforced only
+# when pytest-cov is installed — the base image intentionally ships
+# without it, so the gate degrades to a plain test run rather than
+# failing on a missing plugin.  Install it with:
+#
+#     pip install -e ".[coverage]"
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COV_ARGS=()
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    COV_ARGS=(--cov=repro --cov-fail-under=75)
+else
+    echo "tier1: pytest-cov not installed; skipping coverage floor" >&2
+fi
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m tier1 "${COV_ARGS[@]}" "$@"

@@ -206,8 +206,8 @@ class APIServer:
     # CRUD
     # ------------------------------------------------------------------
 
-    def create(self, credential, obj, namespace=None):
-        """Coroutine: persist a new object; returns the stored copy."""
+    def _prepare_create(self, obj, namespace):
+        """Pre-auth normalization shared by create() and transaction()."""
         obj_type = type(obj)
         plural = obj_type.PLURAL
         if not self.registry.has(plural):
@@ -217,29 +217,40 @@ class APIServer:
             obj.metadata.namespace = obj.metadata.namespace or namespace
         if obj.metadata.name is None and obj.metadata.generate_name:
             obj.metadata.name = self._generate_name(obj.metadata.generate_name)
+        return obj
+
+    def _create_core(self, credential, obj):
+        """Validate, admit and store a prepared object (synchronous)."""
+        obj_type = type(obj)
+        plural = obj_type.PLURAL
+        try:
+            validate_metadata(obj, obj_type.NAMESPACED)
+        except ValidationError as exc:
+            raise Invalid(str(exc)) from exc
+        self._admit(credential, "create", plural, obj, None,
+                    obj.metadata.namespace)
+        obj.metadata.uid = generate_uid()
+        obj.metadata.creation_timestamp = self.sim.now
+        obj.metadata.generation = 1
+        obj.metadata.resource_version = None
+        key = self._key(obj_type, obj.metadata.namespace, obj.metadata.name)
+        try:
+            revision = self.store.create(key, obj.to_dict())
+        except KeyAlreadyExists as exc:
+            raise AlreadyExists(
+                f"{plural} {obj.key!r} already exists") from exc
+        obj.metadata.resource_version = str(revision)
+        return obj
+
+    def create(self, credential, obj, namespace=None):
+        """Coroutine: persist a new object; returns the stored copy."""
+        obj = self._prepare_create(obj, namespace)
         credential = yield from self._begin(
-            credential, "create", plural, obj.metadata.namespace,
+            credential, "create", type(obj).PLURAL, obj.metadata.namespace,
             obj.metadata.name)
         try:
-            try:
-                validate_metadata(obj, obj_type.NAMESPACED)
-            except ValidationError as exc:
-                raise Invalid(str(exc)) from exc
-            self._admit(credential, "create", plural, obj, None,
-                        obj.metadata.namespace)
-            obj.metadata.uid = generate_uid()
-            obj.metadata.creation_timestamp = self.sim.now
-            obj.metadata.generation = 1
-            obj.metadata.resource_version = None
-            key = self._key(obj_type, obj.metadata.namespace,
-                            obj.metadata.name)
-            try:
-                revision = self.store.create(key, obj.to_dict())
-            except KeyAlreadyExists as exc:
-                raise AlreadyExists(
-                    f"{plural} {obj.key!r} already exists") from exc
+            obj = self._create_core(credential, obj)
             yield self.sim.timeout(self.config.apiserver.etcd_write)
-            obj.metadata.resource_version = str(revision)
             return obj
         finally:
             self._release(credential)
@@ -293,65 +304,69 @@ class APIServer:
         ``subresource="status"`` replaces only the status block, like the
         real ``/status`` subresource used by kubelets and controllers.
         """
-        obj_type = type(obj)
-        plural = obj_type.PLURAL
-        verb = "update" if subresource is None else f"update:{subresource}"
         credential = yield from self._begin(
-            credential, "update", plural, obj.metadata.namespace,
+            credential, "update", type(obj).PLURAL, obj.metadata.namespace,
             obj.metadata.name)
         try:
-            key = self._key(obj_type, obj.metadata.namespace,
-                            obj.metadata.name)
-            try:
-                stored_raw, stored_rev = self.store.get(key)
-            except KeyNotFound as exc:
-                raise NotFound(f"{plural} {obj.key!r} not found") from exc
-            stored = self._decode(obj_type, stored_raw, stored_rev)
-
-            expected = None
-            if obj.metadata.resource_version:
-                expected = int(obj.metadata.resource_version)
-                if expected != stored_rev:
-                    raise Conflict(
-                        f"{plural} {obj.key!r}: stale resourceVersion "
-                        f"{expected} (current {stored_rev})")
-
-            if subresource == "status":
-                new_obj = stored.copy()
-                if hasattr(obj, "status"):
-                    new_obj.status = obj.status
-            else:
-                new_obj = obj.copy()
-                new_obj.metadata.uid = stored.metadata.uid
-                new_obj.metadata.creation_timestamp = (
-                    stored.metadata.creation_timestamp)
-                new_obj.metadata.generation = stored.metadata.generation
-                if self._spec_changed(stored, new_obj):
-                    new_obj.metadata.generation += 1
-                self._admit(credential, "update", plural, new_obj, stored,
-                            new_obj.metadata.namespace)
-
-            # Finalizer bookkeeping: removing the last finalizer of a
-            # deleted object actually removes the object.
-            if (new_obj.metadata.deletion_timestamp is not None
-                    and not new_obj.metadata.finalizers
-                    and not self._namespace_pinned(new_obj)):
-                self.store.delete(key, expected_revision=stored_rev)
-                yield self.sim.timeout(self.config.apiserver.etcd_write)
-                new_obj.metadata.resource_version = None
-                return new_obj
-
-            new_obj.metadata.resource_version = None
-            try:
-                revision = self.store.update(key, new_obj.to_dict(),
-                                             expected_revision=stored_rev)
-            except RevisionConflict as exc:
-                raise Conflict(str(exc)) from exc
+            new_obj = self._update_core(credential, obj,
+                                        subresource=subresource)
             yield self.sim.timeout(self.config.apiserver.etcd_write)
-            new_obj.metadata.resource_version = str(revision)
             return new_obj
         finally:
             self._release(credential)
+
+    def _update_core(self, credential, obj, subresource=None):
+        """CAS-check, admit and store an update (synchronous)."""
+        obj_type = type(obj)
+        plural = obj_type.PLURAL
+        key = self._key(obj_type, obj.metadata.namespace,
+                        obj.metadata.name)
+        try:
+            stored_raw, stored_rev = self.store.get(key)
+        except KeyNotFound as exc:
+            raise NotFound(f"{plural} {obj.key!r} not found") from exc
+        stored = self._decode(obj_type, stored_raw, stored_rev)
+
+        expected = None
+        if obj.metadata.resource_version:
+            expected = int(obj.metadata.resource_version)
+            if expected != stored_rev:
+                raise Conflict(
+                    f"{plural} {obj.key!r}: stale resourceVersion "
+                    f"{expected} (current {stored_rev})")
+
+        if subresource == "status":
+            new_obj = stored.copy()
+            if hasattr(obj, "status"):
+                new_obj.status = obj.status
+        else:
+            new_obj = obj.copy()
+            new_obj.metadata.uid = stored.metadata.uid
+            new_obj.metadata.creation_timestamp = (
+                stored.metadata.creation_timestamp)
+            new_obj.metadata.generation = stored.metadata.generation
+            if self._spec_changed(stored, new_obj):
+                new_obj.metadata.generation += 1
+            self._admit(credential, "update", plural, new_obj, stored,
+                        new_obj.metadata.namespace)
+
+        # Finalizer bookkeeping: removing the last finalizer of a
+        # deleted object actually removes the object.
+        if (new_obj.metadata.deletion_timestamp is not None
+                and not new_obj.metadata.finalizers
+                and not self._namespace_pinned(new_obj)):
+            self.store.delete(key, expected_revision=stored_rev)
+            new_obj.metadata.resource_version = None
+            return new_obj
+
+        new_obj.metadata.resource_version = None
+        try:
+            revision = self.store.update(key, new_obj.to_dict(),
+                                         expected_revision=stored_rev)
+        except RevisionConflict as exc:
+            raise Conflict(str(exc)) from exc
+        new_obj.metadata.resource_version = str(revision)
+        return new_obj
 
     def patch(self, credential, plural, name, patch, namespace=None):
         """Coroutine: deep-merge ``patch`` (a dict) into the stored object."""
@@ -366,39 +381,127 @@ class APIServer:
 
     def delete(self, credential, plural, name, namespace=None):
         """Coroutine: delete an object (honouring finalizers)."""
-        obj_type = self.registry.get(plural)
         credential = yield from self._begin(credential, "delete", plural,
                                             namespace, name)
         try:
-            key = self._key(obj_type, namespace, name)
-            try:
-                stored_raw, stored_rev = self.store.get(key)
-            except KeyNotFound as exc:
-                raise NotFound(f"{plural} {name!r} not found") from exc
-            obj = self._decode(obj_type, stored_raw, stored_rev)
-
-            needs_finalization = (bool(obj.metadata.finalizers)
-                                  or self._namespace_pinned(obj))
-            if needs_finalization:
-                if obj.metadata.deletion_timestamp is None:
-                    obj.metadata.deletion_timestamp = self.sim.now
-                    if isinstance(obj, Namespace):
-                        obj.status.phase = "Terminating"
-                    obj.metadata.resource_version = None
-                    revision = self.store.update(
-                        key, obj.to_dict(), expected_revision=stored_rev)
-                    obj.metadata.resource_version = str(revision)
-                yield self.sim.timeout(self.config.apiserver.etcd_write)
-                return obj
-            self.store.delete(key, expected_revision=stored_rev)
+            obj = self._delete_core(credential, plural, name, namespace)
             yield self.sim.timeout(self.config.apiserver.etcd_write)
             return obj
         finally:
             self._release(credential)
 
+    def _delete_core(self, credential, plural, name, namespace=None):
+        """Delete or mark-for-finalization (synchronous)."""
+        obj_type = self.registry.get(plural)
+        key = self._key(obj_type, namespace, name)
+        try:
+            stored_raw, stored_rev = self.store.get(key)
+        except KeyNotFound as exc:
+            raise NotFound(f"{plural} {name!r} not found") from exc
+        obj = self._decode(obj_type, stored_raw, stored_rev)
+
+        needs_finalization = (bool(obj.metadata.finalizers)
+                              or self._namespace_pinned(obj))
+        if needs_finalization:
+            if obj.metadata.deletion_timestamp is None:
+                obj.metadata.deletion_timestamp = self.sim.now
+                if isinstance(obj, Namespace):
+                    obj.status.phase = "Terminating"
+                obj.metadata.resource_version = None
+                revision = self.store.update(
+                    key, obj.to_dict(), expected_revision=stored_rev)
+                obj.metadata.resource_version = str(revision)
+            return obj
+        self.store.delete(key, expected_revision=stored_rev)
+        return obj
+
     def _namespace_pinned(self, obj):
         """Namespaces finalize through spec.finalizers, not metadata."""
         return isinstance(obj, Namespace) and bool(obj.spec.finalizers)
+
+    # ------------------------------------------------------------------
+    # Multi-op transaction (batched writes)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _op_plural(op):
+        verb = op[0]
+        if verb in ("create", "update"):
+            return type(op[1]).PLURAL
+        return op[1]
+
+    def transaction(self, credential, ops):
+        """Coroutine: apply a batch of writes as one multi-op request.
+
+        ``ops`` is a list of tuples:
+
+        - ``("create", obj, namespace)``
+        - ``("update", obj, subresource)``
+        - ``("delete", plural, name, namespace)``
+
+        The whole batch pays one request overhead / inflight slot and a
+        single etcd round trip (``etcd_write`` plus ``etcd_txn_per_op``
+        per op) — the write-amplification fix for the syncer hot path.
+        Sub-operations run through the same validate/admit/CAS cores as
+        their single-op counterparts and apply at consecutive store
+        revisions, so the converged store state is identical to issuing
+        the ops sequentially.  Per-op failures are captured: the result
+        list holds each op's object or the :class:`ApiError` it raised.
+        """
+        from .errors import ApiError
+
+        if not ops:
+            return []
+        credential = yield from self._begin(
+            credential, ops[0][0], self._op_plural(ops[0]))
+        try:
+            # Per-op chaos checks, so a fault targeting e.g. pod creates
+            # still hits batched creates (skip ops[0]: _begin covered it).
+            if self.fault_injector is not None:
+                for op in ops[1:]:
+                    yield from self.fault_injector.on_request(
+                        op[0], self._op_plural(op))
+
+            thunks = [self._op_thunk(credential, op) for op in ops]
+            results = self.store.txn(thunks)
+            for result in results:
+                # Only API errors are per-op outcomes; anything else is a
+                # programming error and must not be swallowed.
+                if (isinstance(result, Exception)
+                        and not isinstance(result, ApiError)):
+                    raise result
+            cfg = self.config.apiserver
+            yield self.sim.timeout(cfg.etcd_write
+                                   + cfg.etcd_txn_per_op * len(ops))
+            return results
+        finally:
+            self._release(credential)
+
+    def _op_thunk(self, credential, op):
+        """One transaction sub-op as a zero-arg callable for store.txn."""
+        verb = op[0]
+        plural = self._op_plural(op)
+        if verb == "create":
+            _, obj, namespace = op
+            prepared = self._prepare_create(obj, namespace)
+            self.authorizer.authorize(credential, "create", plural,
+                                      prepared.metadata.namespace,
+                                      prepared.metadata.name)
+            return lambda: self._create_core(credential, prepared)
+        if verb == "update":
+            _, obj, subresource = op
+            self.authorizer.authorize(credential, "update", plural,
+                                      obj.metadata.namespace,
+                                      obj.metadata.name)
+            return lambda: self._update_core(credential, obj,
+                                             subresource=subresource)
+        if verb == "delete":
+            _, plural, name, namespace = op
+            self.authorizer.authorize(credential, "delete", plural,
+                                      namespace, name)
+            return lambda: self._delete_core(credential, plural, name,
+                                             namespace)
+        raise BadRequest(f"unknown transaction op {verb!r}")
 
     # ------------------------------------------------------------------
     # Watch / binding / helpers

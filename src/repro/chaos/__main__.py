@@ -12,16 +12,29 @@ the system healed; 1 means convergence failed within the timeout.
 
 import argparse
 import sys
+from dataclasses import replace
 
+from repro.config import DEFAULT_CONFIG
 from repro.core.env import VirtualClusterEnv
-from repro.metrics import format_syncer_health
+from repro.metrics import format_hotpath, format_syncer_health
 
 from .engine import ChaosEngine, check_convergence, random_plan
 
 
+def optimized_config(base=None, shards=2, batch_max=8):
+    """Hot-path optimizations on (DESIGN.md §9): indexes, sharded
+    dispatch, batched downward writes."""
+    base = base or DEFAULT_CONFIG
+    return base.with_overrides(syncer=replace(
+        base.syncer, use_cache_indexes=True, dispatch_shards=shards,
+        downward_batch_max=batch_max))
+
+
 def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
-        report=False, convergence_timeout=300.0):
-    env = VirtualClusterEnv(seed=seed, num_virtual_nodes=nodes,
+        report=False, convergence_timeout=300.0, optimized=True):
+    config = optimized_config() if optimized else DEFAULT_CONFIG
+    env = VirtualClusterEnv(seed=seed, config=config,
+                            num_virtual_nodes=nodes,
                             scan_interval=5.0, dws_workers=4, uws_workers=4)
     env.bootstrap()
     handles = [env.run_coroutine(env.create_tenant(f"tenant-{i}"))
@@ -52,6 +65,8 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         print()
         print(format_syncer_health(env.syncer))
         print()
+        print(format_hotpath(env.syncer))
+        print()
     status = "CONVERGED" if converged else "FAILED TO CONVERGE"
     print(f"seed={seed} horizon={horizon:g}s sim_time={env.sim.now:.1f}s "
           f"-> {status}")
@@ -75,6 +90,9 @@ def main(argv=None):
                         help="seconds of simulated chaos")
     parser.add_argument("--report", action="store_true",
                         help="print the fault and syncer-health tables")
+    parser.add_argument("--no-optimized", action="store_true",
+                        help="run with the paper-faithful serialized "
+                             "syncer (hot-path optimizations off)")
     args = parser.parse_args(argv)
     if args.tenants < 1:
         parser.error("--tenants must be >= 1")
@@ -86,7 +104,8 @@ def main(argv=None):
         parser.error("--horizon must be > 0")
     converged, _engine = run(
         args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
-        horizon=args.horizon, nodes=args.nodes, report=args.report)
+        horizon=args.horizon, nodes=args.nodes, report=args.report,
+        optimized=not args.no_optimized)
     return 0 if converged else 1
 
 

@@ -1,8 +1,13 @@
 """client-go analogue: clients, reflectors, informers, work queues."""
 
-from .cache import ObjectCache, estimate_object_bytes
+from .cache import (
+    INDEX_LABELS,
+    INDEX_NAMESPACE,
+    ObjectCache,
+    estimate_object_bytes,
+)
 from .client import Client, Kubeconfig
-from .fairqueue import FairWorkQueue
+from .fairqueue import FairWorkQueue, ShardedFairWorkQueue, shard_hash
 from .informer import InformerFactory, SharedInformer
 from .reflector import ADDED, DELETED, MODIFIED, Reflector
 from .workqueue import DelayingQueue, RateLimitingQueue, ShutDown, WorkQueue
@@ -13,14 +18,18 @@ __all__ = [
     "DELETED",
     "DelayingQueue",
     "FairWorkQueue",
+    "INDEX_LABELS",
+    "INDEX_NAMESPACE",
     "InformerFactory",
     "Kubeconfig",
     "MODIFIED",
     "ObjectCache",
     "RateLimitingQueue",
     "Reflector",
+    "ShardedFairWorkQueue",
     "SharedInformer",
     "ShutDown",
     "WorkQueue",
     "estimate_object_bytes",
+    "shard_hash",
 ]

@@ -13,6 +13,7 @@ When ``fair=False`` the queue degrades to one shared FIFO — the
 configuration used for the Fig. 11(b) comparison.
 """
 
+import zlib
 from collections import defaultdict, deque
 
 from repro.simkernel.events import Event
@@ -203,6 +204,32 @@ class FairWorkQueue:
                     self._credits[t] = self._weights[t]
                 attempts = 0
 
+    def drain_pending(self, tenant):
+        """Remove and return the tenant's pending keys (rebalance support).
+
+        Items currently being processed are untouched — their ``done()``
+        is still owed to this queue.  The returned keys are no longer
+        dirty here, so re-adding them to another shard is not a dedup hit.
+        """
+        drained = []
+        if self.fair:
+            queue = self._subqueues.get(tenant)
+            if queue:
+                drained = list(queue)
+                queue.clear()
+        else:
+            kept = deque()
+            for item_tenant, key in self._shared:
+                if item_tenant == tenant:
+                    drained.append(key)
+                else:
+                    kept.append((item_tenant, key))
+            self._shared = kept
+        for key in drained:
+            self._dirty.discard((tenant, key))
+            self._enqueue_times.pop((tenant, key), None)
+        return drained
+
     def stats(self):
         return {
             "depth": len(self),
@@ -210,4 +237,182 @@ class FairWorkQueue:
             "deduped": self.deduped_total,
             "tenants": len(self._rr_order),
             "processing": len(self._processing),
+        }
+
+
+def shard_hash(tenant):
+    """Stable (process-independent) tenant hash for shard routing."""
+    return zlib.crc32(str(tenant).encode("utf-8"))
+
+
+class ShardedFairWorkQueue:
+    """N fair work queues with stable per-tenant shard routing.
+
+    The single :class:`FairWorkQueue` serializes every dispatch through
+    one critical section — the contention the paper blames for the ~21%
+    throughput degradation.  Sharding splits tenants across ``shards``
+    independent sub-queues (stable ``crc32(tenant) % shards`` routing) so
+    each shard owns its own dispatch path and lock, while weighted
+    fairness is preserved: a tenant's items always land on one shard,
+    whose :class:`FairWorkQueue` runs WRR over exactly the tenants it
+    hosts.  Dedup stays exact because a ``(tenant, key)`` item can only
+    ever live on its tenant's shard.
+
+    ``deactivate_shard`` rebalances a shard whose workers died (chaos
+    worker-kill): its tenants are re-routed among the remaining active
+    shards and their pending items move with them.
+
+    With ``shards=1`` this is byte-for-byte the unsharded behavior — the
+    configuration every paper-reproduction benchmark uses.
+    """
+
+    def __init__(self, sim, name="fair-queue", shards=1, default_weight=1,
+                 fair=True):
+        self.sim = sim
+        self.name = name
+        self.fair = fair
+        self.default_weight = default_weight
+        self.num_shards = max(1, int(shards))
+        self.shards = [
+            FairWorkQueue(sim, name=f"{name}-shard{i}",
+                          default_weight=default_weight, fair=fair)
+            for i in range(self.num_shards)
+        ]
+        self._active = list(range(self.num_shards))
+        self._tenant_shard = {}
+        self._tenant_weight = {}
+        self._shutdown = False
+        self.rebalances = 0
+
+    # ------------------------------------------------------------------
+    # Tenant routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, tenant):
+        """The shard index serving ``tenant`` (assigns on first use)."""
+        shard = self._tenant_shard.get(tenant)
+        if shard is None:
+            shard = self._active[shard_hash(tenant) % len(self._active)]
+            self._tenant_shard[tenant] = shard
+            self.shards[shard].register_tenant(
+                tenant, weight=self._tenant_weight.get(tenant))
+        return shard
+
+    def register_tenant(self, tenant, weight=None):
+        self._tenant_weight[tenant] = weight or self.default_weight
+        self.shard_of(tenant)
+
+    def remove_tenant(self, tenant):
+        shard = self._tenant_shard.pop(tenant, None)
+        self._tenant_weight.pop(tenant, None)
+        if shard is not None:
+            self.shards[shard].remove_tenant(tenant)
+
+    @property
+    def tenants(self):
+        return sorted(self._tenant_shard)
+
+    # ------------------------------------------------------------------
+    # Queue operations (FairWorkQueue-compatible, plus a shard for get)
+    # ------------------------------------------------------------------
+
+    def add(self, tenant, key):
+        if self._shutdown:
+            return
+        self.shards[self.shard_of(tenant)].add(tenant, key)
+
+    def get(self, shard=0):
+        """Event resolving to ``(tenant, key, enqueued_at)`` from a shard."""
+        return self.shards[shard % self.num_shards].get()
+
+    def done(self, tenant, key):
+        shard = self._tenant_shard.get(tenant)
+        if shard is not None:
+            self.shards[shard].done(tenant, key)
+            return
+        # Late done() after remove_tenant/rebalance: every shard treats
+        # an unknown item as a no-op, so sweep them all.
+        for queue in self.shards:
+            queue.done(tenant, key)
+
+    def shutdown(self):
+        self._shutdown = True
+        for queue in self.shards:
+            queue.shutdown()
+
+    # ------------------------------------------------------------------
+    # Rebalance
+    # ------------------------------------------------------------------
+
+    def deactivate_shard(self, shard):
+        """Re-route a dead shard's tenants (and pending items) elsewhere."""
+        if shard not in self._active or len(self._active) <= 1:
+            return
+        self._active.remove(shard)
+        queue = self.shards[shard]
+        for tenant in list(queue.tenants):
+            pending = queue.drain_pending(tenant)
+            queue.remove_tenant(tenant)
+            del self._tenant_shard[tenant]
+            self.shard_of(tenant)  # re-route among remaining active shards
+            for key in pending:
+                self.add(tenant, key)
+        self.rebalances += 1
+
+    def activate_shard(self, shard):
+        """Bring a shard back into the routing pool (new tenants only)."""
+        if shard not in self._active and 0 <= shard < self.num_shards:
+            self._active.append(shard)
+            self._active.sort()
+
+    @property
+    def active_shards(self):
+        return list(self._active)
+
+    # ------------------------------------------------------------------
+    # Introspection (aggregated over shards)
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return sum(len(queue) for queue in self.shards)
+
+    def depth(self, tenant):
+        shard = self._tenant_shard.get(tenant)
+        return self.shards[shard].depth(tenant) if shard is not None else 0
+
+    @property
+    def added_total(self):
+        return sum(queue.added_total for queue in self.shards)
+
+    @property
+    def deduped_total(self):
+        return sum(queue.deduped_total for queue in self.shards)
+
+    @property
+    def wait_time_by_tenant(self):
+        merged = defaultdict(float)
+        for queue in self.shards:
+            for tenant, wait in queue.wait_time_by_tenant.items():
+                merged[tenant] += wait
+        return merged
+
+    @property
+    def dispatched_by_tenant(self):
+        merged = defaultdict(int)
+        for queue in self.shards:
+            for tenant, count in queue.dispatched_by_tenant.items():
+                merged[tenant] += count
+        return merged
+
+    def stats(self):
+        return {
+            "depth": len(self),
+            "added": self.added_total,
+            "deduped": self.deduped_total,
+            "tenants": len(self._tenant_shard),
+            "processing": sum(len(q._processing) for q in self.shards),
+            "shards": self.num_shards,
+            "active_shards": len(self._active),
+            "rebalances": self.rebalances,
+            "depth_by_shard": [len(q) for q in self.shards],
         }

@@ -23,6 +23,9 @@ class ApiServerLatency:
     list_base: float = 0.002
     list_per_item: float = 0.00005
     watch_delivery: float = 0.0001     # store event -> watcher visible
+    # Multi-op transaction: one etcd_write round trip amortized over the
+    # batch, plus a small per-op apply cost inside the store.
+    etcd_txn_per_op: float = 0.00012
     max_inflight: int = 400
 
 
@@ -66,6 +69,21 @@ class SyncerLatency:
     watchdog_base_backoff: float = 0.25
     watchdog_max_backoff: float = 15.0
     watchdog_stable_after: float = 30.0    # uptime that resets the backoff
+    # --- Hot-path optimizations (DESIGN.md §9) ---------------------------
+    # Semantics-preserving, so on by default: scans/lookups use the cache's
+    # secondary indexes instead of O(n) select()/items() filters.
+    use_cache_indexes: bool = True
+    # Charged per candidate object a scan/lookup filters, so index on/off
+    # is observable in simulated time, not just in lookup counters.
+    scan_filter_per_object: float = 0.00002
+    # Sharded dispatch: tenants hash to one of N worker shards, each with
+    # its own dequeue critical section.  1 == the paper's serialized
+    # syncer (the configuration every paper-fidelity benchmark uses).
+    dispatch_shards: int = 1
+    # Downward write batching: reconciler writes to the super apiserver
+    # are coalesced into multi-op transactions.  max=1 disables batching.
+    downward_batch_max: int = 1
+    downward_batch_linger: float = 0.001   # wait to fill a batch (seconds)
 
 
 @dataclass

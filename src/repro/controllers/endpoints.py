@@ -53,10 +53,10 @@ class EndpointsController(Controller):
             return  # manually-managed endpoints
 
         subset = EndpointSubset()
-        for pod in self._pods.cache.by_namespace(namespace):
-            if not match_label_dict(service.spec.selector,
-                                    pod.metadata.labels):
-                continue
+        # The label index intersects selector postings instead of walking
+        # (and label-matching) every pod in the namespace.
+        for pod in self._pods.cache.select_labels(service.spec.selector,
+                                                  namespace=namespace):
             if pod.is_terminal or not pod.status.pod_ip:
                 continue
             address = EndpointAddress(

@@ -59,6 +59,25 @@ def short_uid_hash(uid):
     return hashlib.sha256(str(uid).encode()).hexdigest()[:6]
 
 
+# DNS-1123 subdomain limit enforced by apiserver validation.
+NAME_LIMIT = 253
+
+
+def fit_name(name, limit=NAME_LIMIT):
+    """Truncate an over-long composed name to the DNS limit, injectively.
+
+    Prefixing a tenant name with the per-VC prefix can push it past 253
+    characters.  The fitted name keeps a recognizable head and appends a
+    hash of the full name, so two distinct long names never collide.
+    Reverse mapping never parses the name — it reads the tenant-origin
+    annotations — so the truncation is lossless for round-trips.
+    """
+    if len(name) <= limit:
+        return name
+    digest = hashlib.sha256(name.encode()).hexdigest()[:10]
+    return f"{name[:limit - 11]}-{digest}"
+
+
 def cluster_prefix(vc):
     """The per-VC namespace prefix: ``<name>-<uidhash>`` (paper §III-B(2))."""
     return f"{vc.name}-{short_uid_hash(vc.uid)}"
@@ -66,7 +85,12 @@ def cluster_prefix(vc):
 
 def super_namespace(vc, tenant_namespace):
     """Map a tenant namespace to its super-cluster namespace."""
-    return f"{cluster_prefix(vc)}-{tenant_namespace}"
+    return fit_name(f"{cluster_prefix(vc)}-{tenant_namespace}")
+
+
+def super_name(vc, name):
+    """Map a cluster-scoped tenant object name to its super-cluster name."""
+    return fit_name(f"{cluster_prefix(vc)}-{name}")
 
 
 def make_virtual_cluster(name, namespace="vc-manager", weight=1,

@@ -6,7 +6,7 @@ carry annotations recording their tenant origin so upward reconcilers
 and the vn-agent can map them back.
 """
 
-from ..crd import cluster_prefix, super_namespace
+from ..crd import super_name, super_namespace
 
 ANNOTATION_VC = "tenancy.x-k8s.io/vc"
 ANNOTATION_TENANT_NAMESPACE = "tenancy.x-k8s.io/tenant-namespace"
@@ -14,6 +14,24 @@ ANNOTATION_TENANT_NAME = "tenancy.x-k8s.io/tenant-name"
 ANNOTATION_TENANT_UID = "tenancy.x-k8s.io/tenant-uid"
 LABEL_MANAGED_BY = "tenancy.x-k8s.io/managed-by"
 MANAGED_BY_VALUE = "vc-syncer"
+
+# Secondary-index names registered on the syncer's super-cluster caches
+# (see clientgo.cache.ObjectCache.add_index).
+INDEX_TENANT = "tenant"
+INDEX_NODE = "node"
+
+
+def tenant_index(obj):
+    """Index synced super objects by their owner VC key."""
+    annotations = obj.metadata.annotations or {}
+    vc_key = annotations.get(ANNOTATION_VC)
+    return (vc_key,) if vc_key else ()
+
+
+def node_index(obj):
+    """Index pods by the node they are bound to."""
+    node_name = getattr(getattr(obj, "spec", None), "node_name", None)
+    return (node_name,) if node_name else ()
 
 
 def to_super(obj, vc):
@@ -24,7 +42,7 @@ def to_super(obj, vc):
     if type(obj).NAMESPACED:
         meta.namespace = super_namespace(vc, tenant_namespace)
     else:
-        meta.name = f"{cluster_prefix(vc)}-{meta.name}"
+        meta.name = super_name(vc, meta.name)
     meta.uid = None
     meta.resource_version = None
     meta.creation_timestamp = None
@@ -82,7 +100,7 @@ def super_key_for(obj_type, vc, tenant_obj_key):
         return f"{super_namespace(vc, namespace)}/{name}"
     if obj_type.NAMESPACED:
         raise ValueError(f"namespaced key without namespace: {tenant_obj_key}")
-    return f"{cluster_prefix(vc)}-{tenant_obj_key}"
+    return super_name(vc, tenant_obj_key)
 
 
 def specs_equivalent(tenant_obj, super_obj, ignore_fields=("nodeName",)):

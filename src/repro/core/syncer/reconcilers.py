@@ -102,7 +102,7 @@ class DownwardReconciler:
             yield from self.syncer.ensure_super_namespace(
                 vc, tenant_obj.metadata.namespace)
         try:
-            yield from self.syncer.super_client.create(translated)
+            yield from self.syncer.super_writer.create(translated)
         except AlreadyExists:
             pass
         except NotFound:
@@ -123,13 +123,13 @@ class DownwardReconciler:
         if hasattr(translated, "status"):
             translated.status = super_obj.status
         try:
-            yield from self.syncer.super_client.update(translated)
+            yield from self.syncer.super_writer.update(translated)
         except (Conflict, NotFound):
             self.syncer.metrics_inc("dws_update_race")
 
     def delete_super(self, super_obj):
         try:
-            yield from self.syncer.super_client.delete(
+            yield from self.syncer.super_writer.delete(
                 self.plural, super_obj.metadata.name,
                 namespace=super_obj.metadata.namespace)
         except NotFound:
@@ -167,7 +167,7 @@ class NamespaceDownward(DownwardReconciler):
         if tenant_ns is None or tenant_ns.is_terminating:
             if super_ns is not None and is_managed(super_ns):
                 try:
-                    yield from self.syncer.super_client.delete(
+                    yield from self.syncer.super_writer.delete(
                         "namespaces", sname)
                 except NotFound:
                     pass
@@ -243,7 +243,7 @@ class ServiceDownward(DownwardReconciler):
         translated.metadata.resource_version = (
             super_obj.metadata.resource_version)
         try:
-            yield from self.syncer.super_client.update(translated)
+            yield from self.syncer.super_writer.update(translated)
         except (Conflict, NotFound):
             self.syncer.metrics_inc("dws_update_race")
 

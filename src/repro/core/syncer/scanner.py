@@ -10,8 +10,14 @@ scanning thread per tenant — the cost model here reproduces that.
 
 from repro.simkernel.errors import Interrupt
 
-from .conversion import is_managed, specs_equivalent, super_key_for, tenant_key
-
+from .conversion import (
+    INDEX_TENANT,
+    is_managed,
+    specs_equivalent,
+    super_key_for,
+    tenant_index,
+    tenant_key,
+)
 
 
 class PeriodicScanner:
@@ -52,6 +58,28 @@ class PeriodicScanner:
             except Interrupt:
                 return
 
+    def _super_candidates(self, super_cache, tenant, cfg):
+        """Coroutine: this tenant's super objects, charging filter cost.
+
+        With indexes on, the by-tenant index returns exactly the tenant's
+        objects; with them off, every cached object is a candidate the
+        scan must examine and discard.  Either way each candidate costs
+        ``scan_filter_per_object``, so the index's win is visible in
+        simulated time, not just in lookup counters.
+        """
+        if cfg.use_cache_indexes:
+            # Idempotent: covers lazily-created caches (e.g. synced CRDs)
+            # that were not wired in _setup_super_informers.
+            super_cache.add_index(INDEX_TENANT, tenant_index)
+            candidates = super_cache.by_index(INDEX_TENANT, tenant)
+        else:
+            candidates = super_cache.items()
+        filter_cost = cfg.scan_filter_per_object * len(candidates)
+        if filter_cost:
+            yield self.sim.timeout(filter_cost)
+            self.syncer.cpu.charge(filter_cost, activity="scan-filter")
+        return candidates
+
     def scan_tenant(self, tenant):
         """Coroutine: one full scan of a tenant's synchronized objects."""
         registration = self.syncer.tenants.get(tenant)
@@ -84,8 +112,12 @@ class PeriodicScanner:
                     mismatches += 1
                     self.syncer.enqueue_downward(tenant, plural, obj.key)
 
-            # Super -> tenant direction: no orphans left behind.
-            for super_obj in super_cache.items():
+            # Super -> tenant direction: no orphans left behind.  The
+            # tenant index narrows the sweep to this tenant's objects
+            # instead of walking every super object for every tenant.
+            candidates = yield from self._super_candidates(
+                super_cache, tenant, cfg)
+            for super_obj in candidates:
                 if not is_managed(super_obj):
                     continue
                 origin_key = tenant_key(super_obj)
@@ -105,7 +137,9 @@ class PeriodicScanner:
         # the retry budget ran out).
         tenant_pods = self.syncer.tenant_informer(tenant, "pods").cache
         super_pods = self.syncer.super_informer("pods").cache
-        for super_obj in super_pods.items():
+        pod_candidates = yield from self._super_candidates(
+            super_pods, tenant, cfg)
+        for super_obj in pod_candidates:
             if not is_managed(super_obj):
                 continue
             if not self.syncer.owns(tenant, super_obj):

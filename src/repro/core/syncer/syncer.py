@@ -20,17 +20,27 @@ restart benchmark.
 """
 
 from repro.apiserver.errors import ApiError
-from repro.clientgo import FairWorkQueue, InformerFactory, ShutDown
+from repro.clientgo import (
+    FairWorkQueue,
+    InformerFactory,
+    ShardedFairWorkQueue,
+    ShutDown,
+)
 from repro.config import DEFAULT_CONFIG
 from repro.objects import Namespace
 from repro.simkernel.errors import Interrupt
 
 from ..crd import super_namespace
+from .batch import DownwardBatchWriter
 from .conversion import (
     ANNOTATION_TENANT_NAMESPACE,
     ANNOTATION_VC,
+    INDEX_NODE,
+    INDEX_TENANT,
     LABEL_MANAGED_BY,
     MANAGED_BY_VALUE,
+    node_index,
+    tenant_index,
     tenant_origin,
 )
 from .reconcilers import (
@@ -106,14 +116,35 @@ class Syncer:
             size_overhead=mem_cfg.informer_overhead_bytes,
             handler_cost=cfg.informer_handler, cpu_account=self.cpu)
 
-        self.downward = FairWorkQueue(sim, name=f"{name}-downward",
-                                      fair=fair_queuing)
-        self.upward = FairWorkQueue(sim, name=f"{name}-upward",
-                                    fair=fair_queuing)
+        # Dispatch sharding (DESIGN.md §9): with shards == 1 this is the
+        # paper's single serialized queue + lock; with N shards, tenants
+        # hash to independent queues, each with its own critical section.
+        self.dispatch_shards = max(1, cfg.dispatch_shards)
         from repro.simkernel.resources import Lock
 
-        self.dws_lock = Lock(sim, name=f"{name}-dws-lock")
-        self.uws_lock = Lock(sim, name=f"{name}-uws-lock")
+        if self.dispatch_shards > 1:
+            self.downward = ShardedFairWorkQueue(
+                sim, name=f"{name}-downward", shards=self.dispatch_shards,
+                fair=fair_queuing)
+            self.upward = ShardedFairWorkQueue(
+                sim, name=f"{name}-upward", shards=self.dispatch_shards,
+                fair=fair_queuing)
+            self.dws_locks = [Lock(sim, name=f"{name}-dws-lock-{i}")
+                              for i in range(self.dispatch_shards)]
+            self.uws_locks = [Lock(sim, name=f"{name}-uws-lock-{i}")
+                              for i in range(self.dispatch_shards)]
+        else:
+            self.downward = FairWorkQueue(sim, name=f"{name}-downward",
+                                          fair=fair_queuing)
+            self.upward = FairWorkQueue(sim, name=f"{name}-upward",
+                                        fair=fair_queuing)
+            self.dws_locks = [Lock(sim, name=f"{name}-dws-lock")]
+            self.uws_locks = [Lock(sim, name=f"{name}-uws-lock")]
+        # Shard 0's lock keeps the historical attribute names alive for
+        # tests and reports.
+        self.dws_lock = self.dws_locks[0]
+        self.uws_lock = self.uws_locks[0]
+        self.super_writer = DownwardBatchWriter(self)
 
         self.tenants = {}
         self.trace_store = TraceStore()
@@ -182,7 +213,12 @@ class Syncer:
 
     def _setup_super_informers(self):
         for plural in SUPER_WATCHED:
-            self.super_informers.informer(plural)
+            informer = self.super_informers.informer(plural)
+            # Synced super objects carry their owner VC annotation; the
+            # tenant index turns the scanner's per-tenant sweeps from
+            # O(all objects) into O(tenant's objects).
+            informer.cache.add_index(INDEX_TENANT, tenant_index)
+        self.super_informer("pods").cache.add_index(INDEX_NODE, node_index)
 
         pods = self.super_informer("pods")
         pods.add_handlers(
@@ -443,13 +479,17 @@ class Syncer:
             registration.informers.start_all()
         for index in range(self.dws_workers):
             label = f"{self.name}-dws-{index}"
+            shard = index % self.dispatch_shards
             self._processes.append(self.spawn(
-                self._supervise(label, self._dws_worker),
+                self._supervise(label,
+                                lambda s=shard: self._dws_worker(s)),
                 name=f"{label}-watchdog"))
         for index in range(self.uws_workers):
             label = f"{self.name}-uws-{index}"
+            shard = index % self.dispatch_shards
             self._processes.append(self.spawn(
-                self._supervise(label, self._uws_worker),
+                self._supervise(label,
+                                lambda s=shard: self._uws_worker(s)),
                 name=f"{label}-watchdog"))
         for tenant in self.tenants:
             self.scanner.start_tenant(tenant)
@@ -459,6 +499,7 @@ class Syncer:
 
     def stop(self):
         self._stopped = True
+        self.super_writer.stop()
         self.downward.shutdown()
         self.upward.shutdown()
         self.scanner.stop()
@@ -547,11 +588,18 @@ class Syncer:
                 return
             backoff = min(backoff * 2, cfg.watchdog_max_backoff)
 
-    def _dws_worker(self):
+    def _queue_get(self, queue, shard):
+        if self.dispatch_shards > 1:
+            return queue.get(shard)
+        return queue.get()
+
+    def _dws_worker(self, shard=0):
         cfg = self.config.syncer
+        dws_lock = self.dws_locks[shard % len(self.dws_locks)]
         while not self._stopped:
             try:
-                tenant, item, _enqueued_at = yield self.downward.get()
+                tenant, item, _enqueued_at = yield self._queue_get(
+                    self.downward, shard)
             except (ShutDown, Interrupt):
                 return
             plural, key = item
@@ -564,12 +612,13 @@ class Syncer:
                 continue
             try:
                 # Serialized dequeue critical section (lock contention is
-                # the syncer's throughput limiter under burst).
-                yield self.dws_lock.acquire()
+                # the syncer's throughput limiter under burst); one lock
+                # per dispatch shard.
+                yield dws_lock.acquire()
                 try:
                     yield self.sim.timeout(cfg.dws_dequeue_cs)
                 finally:
-                    self.dws_lock.release()
+                    dws_lock.release()
                 self.cpu.charge(cfg.dws_dequeue_cs, activity="dws-dequeue")
                 self.cpu.charge(cfg.per_item_cpu_overhead, activity="serde")
                 if plural == "pods":
@@ -593,11 +642,13 @@ class Syncer:
             finally:
                 self.downward.done(tenant, item)
 
-    def _uws_worker(self):
+    def _uws_worker(self, shard=0):
         cfg = self.config.syncer
+        uws_lock = self.uws_locks[shard % len(self.uws_locks)]
         while not self._stopped:
             try:
-                tenant, item, _enqueued_at = yield self.upward.get()
+                tenant, item, _enqueued_at = yield self._queue_get(
+                    self.upward, shard)
             except (ShutDown, Interrupt):
                 return
             plural, key = item
@@ -606,11 +657,11 @@ class Syncer:
                 self.upward.done(tenant, item)
                 continue
             try:
-                yield self.uws_lock.acquire()
+                yield uws_lock.acquire()
                 try:
                     yield self.sim.timeout(cfg.uws_dequeue_cs)
                 finally:
-                    self.uws_lock.release()
+                    uws_lock.release()
                 self.cpu.charge(cfg.uws_dequeue_cs, activity="uws-dequeue")
                 self.cpu.charge(cfg.per_item_cpu_overhead, activity="serde")
                 if plural == "pods":
@@ -656,8 +707,12 @@ class Syncer:
             "tenants": len(self.tenants),
             "downward": self.downward.stats(),
             "upward": self.upward.stats(),
-            "dws_lock_contentions": self.dws_lock.contentions,
-            "uws_lock_contentions": self.uws_lock.contentions,
+            "dws_lock_contentions": sum(lock.contentions
+                                        for lock in self.dws_locks),
+            "uws_lock_contentions": sum(lock.contentions
+                                        for lock in self.uws_locks),
+            "dispatch_shards": self.dispatch_shards,
+            "downward_batching": self.super_writer.stats(),
             "cpu_seconds": self.cpu.seconds,
             "peak_memory_bytes": self.mem.peak,
             "traces": len(self.trace_store),

@@ -101,10 +101,13 @@ class VNodeManager:
             return 0
         expected = set(self.vnodes_for(tenant))
         cache = self.syncer.tenant_informer(tenant, "nodes").cache
-        present = set()
-        for node in list(cache.items()):
-            if (node.metadata.labels or {}).get(VNODE_LABEL) == "true":
-                present.add(node.metadata.name)
+        if self.syncer.config.syncer.use_cache_indexes:
+            vnodes = cache.by_label(VNODE_LABEL, "true")
+        else:
+            vnodes = [node for node in cache.items()
+                      if (node.metadata.labels or {}).get(VNODE_LABEL)
+                      == "true"]
+        present = {node.metadata.name for node in vnodes}
         fixed = 0
         for name in sorted(present - expected):
             fixed += 1
@@ -146,6 +149,12 @@ class VNodeManager:
                 yield self.sim.timeout(self.heartbeat_interval)
             except Interrupt:
                 return
+            # One super-node cache lookup (and deep copy) per distinct
+            # node per tick, shared across all tenants bound to it — the
+            # old per-(tenant, node) lookups made the tick
+            # O(nodes x tenants) in cache gets.
+            super_nodes_this_tick = {}
+            super_node_cache = self.syncer.super_informer("nodes").cache
             for tenant, nodes in list(self._bindings.items()):
                 registration = self.syncer.tenants.get(tenant)
                 if registration is None:
@@ -155,8 +164,11 @@ class VNodeManager:
                     # instead of eating client retries per vNode per tick.
                     continue
                 for node_name in list(nodes):
-                    super_node = self.syncer.super_informer(
-                        "nodes").cache.get_copy(node_name)
+                    if node_name in super_nodes_this_tick:
+                        super_node = super_nodes_this_tick[node_name]
+                    else:
+                        super_node = super_node_cache.get_copy(node_name)
+                        super_nodes_this_tick[node_name] = super_node
                     if super_node is None:
                         continue
                     yield self.sim.timeout(cfg.vnode_heartbeat_write)

@@ -3,17 +3,21 @@
 from .reporting import (
     format_bucket_table,
     format_histogram,
+    format_hotpath,
     format_phase_breakdown,
     format_syncer_health,
     format_table,
+    pods_per_node,
     summarize,
 )
 
 __all__ = [
     "format_bucket_table",
     "format_histogram",
+    "format_hotpath",
     "format_phase_breakdown",
     "format_syncer_health",
     "format_table",
+    "pods_per_node",
     "summarize",
 ]

@@ -107,3 +107,53 @@ def summarize(result):
             f"tenants={result.num_tenants} duration={result.duration:.1f}s "
             f"throughput={result.throughput:.0f}/s mean={result.mean:.2f}s "
             f"p99={result.percentile(99):.2f}s")
+
+
+def pods_per_node(syncer):
+    """Super pods currently bound to each physical node.
+
+    Reads the pods cache's node index (one posting lookup per node)
+    instead of scanning every cached pod per node — the same index the
+    hot-path report uses to surface placement skew.
+    """
+    from repro.core.syncer.conversion import INDEX_NODE, node_index
+
+    pods = syncer.super_informer("pods").cache
+    pods.add_index(INDEX_NODE, node_index)  # idempotent
+    return {node: len(pods.index_keys(INDEX_NODE, node))
+            for node in syncer.super_informer("nodes").cache.keys()}
+
+
+def format_hotpath(syncer, title="Syncer hot path"):
+    """Render the DESIGN.md §9 hot-path counters: dispatch sharding,
+    downward write batching, and per-node placement from the pod index."""
+    stats = syncer.stats()
+    downward = stats["downward"]
+    rows = [
+        ["dispatch shards", stats["dispatch_shards"]],
+        ["active shards", downward.get("active_shards", 1)],
+        ["shard rebalances", downward.get("rebalances", 0)],
+        ["dws depth by shard", downward.get("depth_by_shard",
+                                            [downward["depth"]])],
+        ["dws lock contentions", stats["dws_lock_contentions"]],
+        ["uws lock contentions", stats["uws_lock_contentions"]],
+    ]
+    batching = stats["downward_batching"]
+    rows.append(["downward batching",
+                 "on" if batching["enabled"] else "off (pass-through)"])
+    if batching["enabled"]:
+        rows.extend([
+            ["  batches flushed", batching["batches_flushed"]],
+            ["  ops batched", batching["ops_batched"]],
+            ["  largest batch", batching["largest_batch"]],
+        ])
+    table = format_table(["metric", "value"], rows, title=title)
+    placement = pods_per_node(syncer)
+    busiest = sorted(placement.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    lines = [table, "busiest nodes (pods via node index):"]
+    if busiest:
+        for node, count in busiest:
+            lines.append(f"  {node}: {count}")
+    else:
+        lines.append("  (no nodes)")
+    return "\n".join(lines)

@@ -105,6 +105,10 @@ class EtcdStore:
         self._compacted_revision = 0
         self._history_limit = history_limit
         self._watches = set()
+        # Multi-op transaction accounting (see :meth:`txn`).
+        self.txns = 0
+        self.txn_ops = 0
+        self.largest_txn = 0
 
     @staticmethod
     def _bucket_of(key):
@@ -192,6 +196,28 @@ class EtcdStore:
                               fast_deep_copy(stored.value), self._revision))
         return self._revision
 
+    def txn(self, ops):
+        """Apply a multi-op write transaction.
+
+        ``ops`` is a list of zero-arg callables, each performing one write
+        against this store (the apiserver prepares them with its own
+        read-validate-write logic, like an etcd txn's compare guards).
+        Ops apply sequentially at consecutive revisions — exactly the
+        state a sequence of single writes would produce — with per-op
+        error capture instead of all-or-nothing abort: the result list
+        holds each op's return value or the exception it raised.
+        """
+        self.txns += 1
+        self.txn_ops += len(ops)
+        self.largest_txn = max(self.largest_txn, len(ops))
+        results = []
+        for op in ops:
+            try:
+                results.append(op())
+            except Exception as exc:  # noqa: BLE001 - captured per op
+                results.append(exc)
+        return results
+
     def list_prefix(self, prefix):
         """All (key, value, mod_revision) under a prefix, plus the revision.
 
@@ -266,4 +292,7 @@ class EtcdStore:
             "history": len(self._history),
             "watches": len(self._watches),
             "compacted_revision": self._compacted_revision,
+            "txns": self.txns,
+            "txn_ops": self.txn_ops,
+            "largest_txn": self.largest_txn,
         }

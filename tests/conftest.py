@@ -1,0 +1,15 @@
+"""Shared test configuration: tier-1 marking.
+
+Every test under ``tests/`` is auto-marked ``tier1`` unless it opted
+into a slower bucket (currently ``soak``), so the tier-1 gate can be
+invoked as ``pytest -m tier1`` — see ``scripts/tier1.sh``, which also
+enforces the coverage floor when ``pytest-cov`` is installed.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "soak" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)

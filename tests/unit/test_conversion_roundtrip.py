@@ -1,0 +1,160 @@
+"""Conversion round-trips for every synced resource type.
+
+The syncer's namespace-prefix scheme (paper §III-B(2)) must be lossless
+for all thirteen watched resource types: translating a tenant object
+into the super cluster and reading the origin annotations back must
+reproduce the tenant-side key exactly — including names at or near the
+253-character DNS-1123 limit, where the composed ``<vc>-<uidhash>-name``
+form overflows and ``fit_name`` truncation kicks in.
+"""
+
+import pytest
+
+from repro.core.crd import (
+    NAME_LIMIT,
+    fit_name,
+    make_virtual_cluster,
+    super_name,
+    super_namespace,
+)
+from repro.core.syncer.conversion import (
+    is_managed,
+    super_key_for,
+    tenant_key,
+    tenant_origin,
+    to_super,
+    to_super_pod,
+)
+from repro.core.syncer.syncer import SUPER_WATCHED
+from repro.objects import (
+    ConfigMap,
+    Endpoints,
+    Namespace,
+    Node,
+    PersistentVolume,
+    PersistentVolumeClaim,
+    Secret,
+    Service,
+    ServiceAccount,
+    make_pod,
+)
+from repro.objects.misc import Event, ResourceQuota, StorageClass
+from repro.objects.pod import Pod
+from repro.objects.validation import validate_name
+
+TYPE_FOR_PLURAL = {
+    "pods": Pod,
+    "namespaces": Namespace,
+    "services": Service,
+    "secrets": Secret,
+    "configmaps": ConfigMap,
+    "serviceaccounts": ServiceAccount,
+    "persistentvolumeclaims": PersistentVolumeClaim,
+    "resourcequotas": ResourceQuota,
+    "endpoints": Endpoints,
+    "nodes": Node,
+    "events": Event,
+    "persistentvolumes": PersistentVolume,
+    "storageclasses": StorageClass,
+}
+
+# Name lengths that probe the DNS limit: short, just under, at the
+# limit, and the longest prefix-composition survivors.
+NAME_LENGTHS = [8, 200, NAME_LIMIT - 1, NAME_LIMIT]
+
+
+@pytest.fixture
+def vc():
+    vc = make_virtual_cluster("acme")
+    vc.metadata.uid = "uid-0001"
+    return vc
+
+
+def _make(obj_type, name, namespace="default"):
+    if obj_type is Pod:
+        return make_pod(name, namespace=namespace)
+    obj = obj_type()
+    obj.metadata.name = name
+    if obj_type.NAMESPACED:
+        obj.metadata.namespace = namespace
+    return obj
+
+
+def _name_of_length(length):
+    return ("n" * (length - 1) + "x")[:length]
+
+
+def test_all_thirteen_watched_types_covered():
+    assert sorted(TYPE_FOR_PLURAL) == sorted(SUPER_WATCHED)
+    assert len(SUPER_WATCHED) == 13
+
+
+@pytest.mark.parametrize("plural", sorted(SUPER_WATCHED))
+@pytest.mark.parametrize("length", NAME_LENGTHS)
+def test_roundtrip_preserves_tenant_key(vc, plural, length):
+    obj_type = TYPE_FOR_PLURAL[plural]
+    name = _name_of_length(length)
+    obj = _make(obj_type, name)
+    translate = to_super_pod if obj_type is Pod else to_super
+    translated = translate(obj, vc)
+
+    # Forward: the super-side identifiers fit the DNS limit and validate.
+    validate_name(translated.metadata.name)
+    if obj_type.NAMESPACED:
+        validate_name(translated.metadata.namespace)
+        assert len(translated.metadata.namespace) <= NAME_LIMIT
+    assert len(translated.metadata.name) <= NAME_LIMIT
+
+    # Reverse: origin annotations round-trip the tenant key losslessly
+    # (never parsed out of the possibly-truncated super name).
+    assert is_managed(translated)
+    assert tenant_key(translated) == obj.key
+    vc_key, _namespace, tenant_name = tenant_origin(translated)
+    assert vc_key == vc.key
+    assert tenant_name == name
+
+    # Key mapping: super_key_for agrees with the translated object's key.
+    assert super_key_for(obj_type, vc, obj.key) == translated.key
+
+
+@pytest.mark.parametrize("plural", sorted(SUPER_WATCHED))
+def test_two_tenants_never_collide_at_the_limit(plural):
+    """The same 253-char tenant name in two VCs maps to distinct super
+    keys — truncation hashes the full composed name, prefix included."""
+    vc_a = make_virtual_cluster("acme")
+    vc_a.metadata.uid = "uid-000a"
+    vc_b = make_virtual_cluster("acme")
+    vc_b.metadata.uid = "uid-000b"
+    obj_type = TYPE_FOR_PLURAL[plural]
+    obj = _make(obj_type, _name_of_length(NAME_LIMIT))
+    key_a = super_key_for(obj_type, vc_a, obj.key)
+    key_b = super_key_for(obj_type, vc_b, obj.key)
+    assert key_a != key_b
+
+
+class TestFitName:
+    def test_short_names_unchanged(self):
+        assert fit_name("web-0") == "web-0"
+        assert fit_name("x" * NAME_LIMIT) == "x" * NAME_LIMIT
+
+    def test_long_names_truncate_to_limit(self):
+        fitted = fit_name("x" * (NAME_LIMIT + 1))
+        assert len(fitted) == NAME_LIMIT
+        validate_name(fitted)
+
+    def test_distinct_long_names_stay_distinct(self):
+        # Same 242-char head, different tails: only the hash suffix can
+        # tell them apart.
+        head = "a" * 300
+        assert fit_name(head + "-one") != fit_name(head + "-two")
+
+    def test_truncation_is_deterministic(self):
+        name = "b" * 400
+        assert fit_name(name) == fit_name(name)
+
+    def test_super_namespace_and_name_apply_fit(self):
+        vc = make_virtual_cluster("acme")
+        vc.metadata.uid = "uid-0001"
+        long = _name_of_length(NAME_LIMIT)
+        assert len(super_namespace(vc, long)) <= NAME_LIMIT
+        assert len(super_name(vc, long)) <= NAME_LIMIT

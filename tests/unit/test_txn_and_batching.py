@@ -1,0 +1,214 @@
+"""Unit tests for the batched-write pipeline (DESIGN.md §9).
+
+Covers the three layers independently: the store's multi-op ``txn``, the
+apiserver's ``transaction`` verb, and the syncer-side
+:class:`DownwardBatchWriter` that coalesces concurrent workers' writes.
+"""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apiserver import ADMIN, APIServer
+from repro.apiserver.errors import (
+    AlreadyExists,
+    Conflict,
+    NotFound,
+    ServerUnavailable,
+)
+from repro.clientgo import Client
+from repro.config import DEFAULT_CONFIG
+from repro.core.syncer.batch import DownwardBatchWriter
+from repro.objects import make_namespace, make_pod
+from repro.simkernel import Simulation
+from repro.storage import EtcdStore
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+@pytest.fixture
+def api(sim):
+    return APIServer(sim, "test-api")
+
+
+def run(sim, coroutine):
+    return sim.run(until=sim.process(coroutine))
+
+
+class TestStoreTxn:
+    def test_ops_apply_at_consecutive_revisions(self, sim):
+        store = EtcdStore(sim, name="txn-etcd")
+        revisions = store.txn([
+            lambda: store.create("/registry/pods/ns/a", {"x": 1}),
+            lambda: store.create("/registry/pods/ns/b", {"x": 2}),
+            lambda: store.create("/registry/pods/ns/c", {"x": 3}),
+        ])
+        assert revisions == [1, 2, 3]
+        assert store.revision == 3
+
+    def test_per_op_errors_captured_not_raised(self, sim):
+        store = EtcdStore(sim, name="txn-etcd")
+        store.create("/registry/pods/ns/a", {})
+        results = store.txn([
+            lambda: store.create("/registry/pods/ns/a", {}),  # duplicate
+            lambda: store.create("/registry/pods/ns/b", {}),
+        ])
+        assert isinstance(results[0], Exception)
+        # The failed create consumed no revision — b lands at revision 2.
+        assert results[1] == 2
+        assert store.get("/registry/pods/ns/b")[1] == results[1]
+
+    def test_stats_track_batches(self, sim):
+        store = EtcdStore(sim, name="txn-etcd")
+        store.txn([lambda: store.create(f"/registry/pods/ns/p{i}", {})
+                   for i in range(4)])
+        store.txn([lambda: store.create("/registry/pods/ns/q", {})])
+        stats = store.stats()
+        assert stats["txns"] == 2
+        assert stats["txn_ops"] == 5
+        assert stats["largest_txn"] == 4
+
+
+class TestApiServerTransaction:
+    def test_batch_matches_sequential_state(self, sim, api):
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        results = run(sim, api.transaction(ADMIN, [
+            ("create", make_pod("a"), None),
+            ("create", make_pod("b"), None),
+        ]))
+        assert [r.metadata.name for r in results] == ["a", "b"]
+        # Consecutive store revisions, exactly like sequential writes.
+        versions = [int(r.metadata.resource_version) for r in results]
+        assert versions[1] == versions[0] + 1
+
+    def test_per_op_api_errors_in_results(self, sim, api):
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        run(sim, api.create(ADMIN, make_pod("a")))
+        results = run(sim, api.transaction(ADMIN, [
+            ("create", make_pod("a"), None),          # AlreadyExists
+            ("delete", "pods", "ghost", "default"),   # NotFound
+            ("create", make_pod("b"), None),          # fine
+        ]))
+        assert isinstance(results[0], AlreadyExists)
+        assert isinstance(results[1], NotFound)
+        assert results[2].metadata.name == "b"
+
+    def test_stale_update_conflicts_without_poisoning_batch(self, sim, api):
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        pod = run(sim, api.create(ADMIN, make_pod("a")))
+        stale = pod.copy()
+        fresh = run(sim, api.update(ADMIN, pod))
+        results = run(sim, api.transaction(ADMIN, [
+            ("update", stale, None),                  # CAS conflict
+            ("update", fresh, None),
+        ]))
+        assert isinstance(results[0], Conflict)
+        assert results[1].metadata.resource_version != (
+            fresh.metadata.resource_version)
+
+    def test_empty_batch_is_a_noop(self, sim, api):
+        assert run(sim, api.transaction(ADMIN, [])) == []
+
+    def test_one_round_trip_cheaper_than_sequential(self, sim, api):
+        """The batch pays a single request overhead + etcd write."""
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        start = sim.now
+        run(sim, api.transaction(ADMIN, [
+            ("create", make_pod(f"batch-{i}"), None) for i in range(8)]))
+        batched = sim.now - start
+        start = sim.now
+        for i in range(8):
+            run(sim, api.create(ADMIN, make_pod(f"seq-{i}")))
+        sequential = sim.now - start
+        assert batched < sequential
+
+
+def _batch_env(sim, api, batch_max, linger=0.001):
+    client = Client(sim, api, ADMIN, user_agent="batch-test",
+                    qps=10000, burst=10000)
+    config = DEFAULT_CONFIG.with_overrides(syncer=replace(
+        DEFAULT_CONFIG.syncer, downward_batch_max=batch_max,
+        downward_batch_linger=linger))
+    syncer = SimpleNamespace(sim=sim, config=config, super_client=client)
+    return DownwardBatchWriter(syncer)
+
+
+class TestDownwardBatchWriter:
+    def test_disabled_is_passthrough(self, sim, api):
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        writer = _batch_env(sim, api, batch_max=1)
+        assert not writer.enabled
+        pod = run(sim, writer.create(make_pod("p")))
+        assert pod.metadata.uid
+        assert writer.stats()["batches_flushed"] == 0
+
+    def test_concurrent_submitters_share_a_flush(self, sim, api):
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        writer = _batch_env(sim, api, batch_max=8)
+        created = []
+
+        def submitter(index):
+            pod = yield from writer.create(make_pod(f"p{index}"))
+            created.append(pod.metadata.name)
+
+        processes = [sim.process(submitter(i)) for i in range(6)]
+        for process in processes:
+            sim.run(until=process)
+        assert sorted(created) == [f"p{i}" for i in range(6)]
+        stats = writer.stats()
+        assert stats["ops_batched"] == 6
+        assert stats["batches_flushed"] < 6
+        assert stats["largest_batch"] > 1
+
+    def test_each_submitter_gets_its_own_error(self, sim, api):
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        run(sim, api.create(ADMIN, make_pod("dup")))
+        writer = _batch_env(sim, api, batch_max=8)
+        outcomes = {}
+
+        def submitter(name):
+            try:
+                yield from writer.create(make_pod(name))
+                outcomes[name] = "ok"
+            except AlreadyExists:
+                outcomes[name] = "exists"
+
+        processes = [sim.process(submitter(name))
+                     for name in ("dup", "new-1", "new-2")]
+        for process in processes:
+            sim.run(until=process)
+        assert outcomes == {"dup": "exists", "new-1": "ok", "new-2": "ok"}
+
+    def test_oversized_burst_splits_into_batches(self, sim, api):
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        writer = _batch_env(sim, api, batch_max=4)
+        processes = [sim.process(writer.create(make_pod(f"q{i}")))
+                     for i in range(10)]
+        for process in processes:
+            sim.run(until=process)
+        stats = writer.stats()
+        assert stats["ops_batched"] == 10
+        assert stats["largest_batch"] <= 4
+        assert stats["batches_flushed"] >= 3
+
+    def test_stop_fails_pending_submitters(self, sim, api):
+        run(sim, api.create(ADMIN, make_namespace("default")))
+        writer = _batch_env(sim, api, batch_max=8, linger=30.0)
+        outcome = {}
+
+        def submitter():
+            try:
+                yield from writer.create(make_pod("late"))
+                outcome["result"] = "ok"
+            except ServerUnavailable:
+                outcome["result"] = "unavailable"
+
+        process = sim.process(submitter())
+        sim.run(until=sim.now + 0.01)  # submitted, linger still pending
+        writer.stop()
+        sim.run(until=process)
+        assert outcome["result"] == "unavailable"
