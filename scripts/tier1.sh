@@ -3,6 +3,7 @@
 # coverage floor.
 #
 # Usage:  scripts/tier1.sh [extra pytest args...]
+#         scripts/tier1.sh --chaos-smoke [seed]
 #
 # Runs the tier1-marked tests (every test except the long soak runs)
 # exactly as the CI gate does.  The coverage floor is enforced only
@@ -11,8 +12,25 @@
 # failing on a missing plugin.  Install it with:
 #
 #     pip install -e ".[coverage]"
+#
+# --chaos-smoke runs two short seeded chaos convergence runs instead of
+# the pytest gate: the base fault mix, then the HA mix (--kill-leader:
+# leader crash with standby failover, tenant control-plane crash
+# restored from its etcd snapshot, snapshot rollback).  Exit 0 means
+# both runs healed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--chaos-smoke" ]]; then
+    seed="${2:-0}"
+    echo "tier1: chaos smoke (seed=$seed), base fault mix" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --seed "$seed" --horizon 30
+    echo "tier1: chaos smoke (seed=$seed), HA fault mix (--kill-leader)" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --seed "$seed" --horizon 30 --kill-leader
+    exit 0
+fi
 
 COV_ARGS=()
 if python -c "import pytest_cov" >/dev/null 2>&1; then

@@ -22,6 +22,7 @@ from .errors import (
     ApiError,
     BadRequest,
     Conflict,
+    FencingConflict,
     Forbidden,
     Invalid,
     NotFound,

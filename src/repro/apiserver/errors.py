@@ -27,6 +27,17 @@ class Conflict(ApiError):
     reason = "Conflict"
 
 
+class FencingConflict(ApiError):
+    """A write carried a revoked fencing token (deposed leader).
+
+    Deliberately non-retryable: the writer lost its lease, so retrying
+    the same write can never succeed — it must stop serving instead.
+    """
+
+    code = 409
+    reason = "FencingConflict"
+
+
 class Invalid(ApiError):
     code = 422
     reason = "Invalid"

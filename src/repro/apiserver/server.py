@@ -430,7 +430,7 @@ class APIServer:
             return type(op[1]).PLURAL
         return op[1]
 
-    def transaction(self, credential, ops):
+    def transaction(self, credential, ops, fencing=None):
         """Coroutine: apply a batch of writes as one multi-op request.
 
         ``ops`` is a list of tuples:
@@ -447,11 +447,28 @@ class APIServer:
         revisions, so the converged store state is identical to issuing
         the ops sequentially.  Per-op failures are captured: the result
         list holds each op's object or the :class:`ApiError` it raised.
+
+        ``fencing`` is an optional ``(domain, token)`` leader-election
+        guard checked against the store *before* any op applies; a
+        revoked token fails the whole batch with the non-retryable
+        :class:`FencingConflict`.  An *empty* fenced transaction is a
+        fence barrier: it establishes the token floor for ``domain``
+        without writing anything, which new leaders issue before serving
+        so a deposed predecessor's in-flight batches can no longer land.
         """
         from .errors import ApiError
 
         if not ops:
-            return []
+            if fencing is None:
+                return []
+            credential = yield from self._begin(credential, "update",
+                                                "leases")
+            try:
+                self._check_fence(fencing)
+                yield self.sim.timeout(self.config.apiserver.etcd_write)
+                return []
+            finally:
+                self._release(credential)
         credential = yield from self._begin(
             credential, ops[0][0], self._op_plural(ops[0]))
         try:
@@ -462,6 +479,8 @@ class APIServer:
                     yield from self.fault_injector.on_request(
                         op[0], self._op_plural(op))
 
+            if fencing is not None:
+                self._check_fence(fencing)
             thunks = [self._op_thunk(credential, op) for op in ops]
             results = self.store.txn(thunks)
             for result in results:
@@ -476,6 +495,19 @@ class APIServer:
             return results
         finally:
             self._release(credential)
+
+    def _check_fence(self, fencing):
+        """Validate a (domain, token) pair against the store's fence
+        floor, translating the storage error into an API error."""
+        from repro.storage import FencingRevoked
+
+        from .errors import FencingConflict
+
+        domain, token = fencing
+        try:
+            self.store.check_fence(domain, token)
+        except FencingRevoked as exc:
+            raise FencingConflict(str(exc)) from exc
 
     def _op_thunk(self, credential, op):
         """One transaction sub-op as a zero-arg callable for store.txn."""

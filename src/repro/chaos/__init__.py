@@ -21,13 +21,16 @@ Typical use::
     report = engine.report()
 """
 
-from .engine import ChaosEngine, random_plan
+from .engine import ChaosEngine, ha_plan, random_plan
 from .faults import (
     ApiRequestFault,
     ApiServerCrash,
+    CrashControlPlane,
     Fault,
     ForcedCompaction,
+    KillLeader,
     NetworkPartition,
+    RestoreFromSnapshot,
     WatchDrop,
     WorkerCrash,
 )
@@ -37,14 +40,18 @@ __all__ = [
     "ApiRequestFault",
     "ApiServerCrash",
     "ChaosEngine",
+    "CrashControlPlane",
     "Fault",
     "ForcedCompaction",
+    "KillLeader",
     "NetworkPartition",
     "OneShot",
     "Periodic",
     "RandomWindows",
+    "RestoreFromSnapshot",
     "Schedule",
     "WatchDrop",
     "WorkerCrash",
+    "ha_plan",
     "random_plan",
 ]

@@ -16,9 +16,9 @@ from dataclasses import replace
 
 from repro.config import DEFAULT_CONFIG
 from repro.core.env import VirtualClusterEnv
-from repro.metrics import format_hotpath, format_syncer_health
+from repro.metrics import format_failover, format_hotpath, format_syncer_health
 
-from .engine import ChaosEngine, check_convergence, random_plan
+from .engine import ChaosEngine, check_convergence, ha_plan, random_plan
 
 
 def optimized_config(base=None, shards=2, batch_max=8):
@@ -31,11 +31,13 @@ def optimized_config(base=None, shards=2, batch_max=8):
 
 
 def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
-        report=False, convergence_timeout=300.0, optimized=True):
+        report=False, convergence_timeout=300.0, optimized=True,
+        kill_leader=False, replicas=2):
     config = optimized_config() if optimized else DEFAULT_CONFIG
     env = VirtualClusterEnv(seed=seed, config=config,
                             num_virtual_nodes=nodes,
-                            scan_interval=5.0, dws_workers=4, uws_workers=4)
+                            scan_interval=5.0, dws_workers=4, uws_workers=4,
+                            syncer_replicas=replicas if kill_leader else 1)
     env.bootstrap()
     handles = [env.run_coroutine(env.create_tenant(f"tenant-{i}"))
                for i in range(tenants)]
@@ -49,6 +51,10 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
 
     engine = ChaosEngine(env, seed=seed)
     random_plan(engine, horizon=horizon)
+    if kill_leader:
+        # Added after random_plan so the base plan's RNG draws (and so
+        # every existing chaos seed) are unchanged.
+        ha_plan(engine, horizon=horizon)
     engine.start()
     env.run_for(horizon)
     engine.stop()
@@ -67,6 +73,9 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         print()
         print(format_hotpath(env.syncer))
         print()
+        if env.syncer_ha is not None:
+            print(format_failover(env.syncer_ha))
+            print()
     status = "CONVERGED" if converged else "FAILED TO CONVERGE"
     print(f"seed={seed} horizon={horizon:g}s sim_time={env.sim.now:.1f}s "
           f"-> {status}")
@@ -93,7 +102,18 @@ def main(argv=None):
     parser.add_argument("--no-optimized", action="store_true",
                         help="run with the paper-faithful serialized "
                              "syncer (hot-path optimizations off)")
+    parser.add_argument("--kill-leader", action="store_true",
+                        help="run the syncer as an HA replica group "
+                             "(--replicas) and add the HA fault mix: "
+                             "leader kill with standby failover, tenant "
+                             "control-plane crash restored from its "
+                             "etcd snapshot, and a snapshot rollback")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="syncer replicas when --kill-leader is on "
+                             "(default 2)")
     args = parser.parse_args(argv)
+    if args.replicas < 2:
+        parser.error("--replicas must be >= 2")
     if args.tenants < 1:
         parser.error("--tenants must be >= 1")
     if args.pods < 0:
@@ -105,7 +125,8 @@ def main(argv=None):
     converged, _engine = run(
         args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
         horizon=args.horizon, nodes=args.nodes, report=args.report,
-        optimized=not args.no_optimized)
+        optimized=not args.no_optimized, kill_leader=args.kill_leader,
+        replicas=args.replicas)
     return 0 if converged else 1
 
 

@@ -15,8 +15,11 @@ from repro.simkernel.errors import Interrupt
 from .faults import (
     ApiRequestFault,
     ApiServerCrash,
+    CrashControlPlane,
     ForcedCompaction,
+    KillLeader,
     NetworkPartition,
+    RestoreFromSnapshot,
     WatchDrop,
     WorkerCrash,
 )
@@ -280,4 +283,36 @@ def random_plan(engine, horizon=60.0):
     # Syncer worker crashes: the watchdog has to respawn them.
     engine.add(Periodic(period=horizon / 6.0, count=4),
                WorkerCrash(syncer, count=1))
+    return engine
+
+
+def ha_plan(engine, horizon=60.0):
+    """The HA fault mix (DESIGN.md §10) on top of :func:`random_plan`.
+
+    Kept separate — and always added *after* ``random_plan`` — so the
+    base plan draws the same RNG sequence with or without HA faults and
+    existing chaos seeds keep reproducing byte-identically.
+
+    Requires an env built with ``syncer_replicas > 1`` for the leader
+    kill; the control-plane crash/rollback faults work on any env.
+    """
+    env = engine.env
+    rng = engine.rng
+    if env.syncer_ha is not None:
+        # Crash the leader mid-run; the window end restarts the victim
+        # as a standby, so a later kill has somewhere to fail over to.
+        engine.add(
+            OneShot(at=rng.uniform(horizon / 4.0, horizon / 2.0),
+                    duration=horizon / 6.0),
+            KillLeader(env.syncer_ha, mode="crash"))
+    tenant_keys = sorted(env.tenants)
+    if tenant_keys:
+        crash_victim = rng.choice(tenant_keys)
+        engine.add(
+            OneShot(at=rng.uniform(horizon / 3.0, 2.0 * horizon / 3.0)),
+            CrashControlPlane(env.tenant_operator, crash_victim))
+        rollback_victim = rng.choice(tenant_keys)
+        engine.add(
+            OneShot(at=rng.uniform(horizon / 2.0, 0.9 * horizon)),
+            RestoreFromSnapshot(env.tenant_operator, rollback_victim))
     return engine

@@ -18,6 +18,12 @@ NetworkPartition        ``Client.fault_injector`` + ``sever_watches()``
                         on one client (one link down, server healthy)
 WorkerCrash             ``Process.interrupt()`` on syncer workers (the
                         watchdog must respawn them)
+KillLeader              ``SyncerHA.kill_leader()`` (a standby must win
+                        the lease and take over; fencing must hold)
+CrashControlPlane       ``TenantOperator.crash_control_plane()`` (wiped
+                        etcd; the operator restores from its snapshot)
+RestoreFromSnapshot     ``EtcdStore.restore()`` on a live tenant CP
+                        (rollback; watchers must relist cleanly)
 ======================  ==================================================
 
 Faults draw any randomness from the engine RNG handed to ``bind()``.
@@ -214,6 +220,85 @@ class NetworkPartition(Fault):
         if self._active:
             self.requests_blocked += 1
             raise ServerUnavailable(f"{self.name}: link down")
+
+
+class KillLeader(Fault):
+    """Kill the serving syncer leader (DESIGN.md §10).
+
+    ``mode="crash"``: the replica dies; the window's ``restore()``
+    brings it back as a standby.  ``mode="partition"``: the leader is
+    cut off but keeps writing with its stale fencing token until it
+    notices — the split-brain window storage fencing must cover.
+    """
+
+    def __init__(self, ha, mode="crash", notice_delay=2.0, name=None):
+        super().__init__(name=name or f"killleader:{mode}")
+        self.ha = ha
+        self.mode = mode
+        self.notice_delay = notice_delay
+        self.leaders_killed = 0
+        self._victim = None
+
+    def inject(self):
+        victim = self.ha.kill_leader(mode=self.mode,
+                                     notice_delay=self.notice_delay)
+        if victim is not None:
+            self.injections += 1
+            self.leaders_killed += 1
+            self._victim = victim
+
+    def restore(self):
+        victim, self._victim = self._victim, None
+        if victim is None:
+            return
+        if self.mode == "crash":
+            self.ha.restart_replica(victim)
+        else:
+            self.ha.heal(victim)
+
+
+class CrashControlPlane(Fault):
+    """Crash one tenant control plane with total data loss.
+
+    The apiserver goes down and its etcd is wiped; the tenant operator
+    must notice and reprovision from its latest snapshot (DESIGN.md
+    §10.3).  Recovery is driven by the operator, not by ``restore()``.
+    """
+
+    def __init__(self, operator, key, name=None):
+        super().__init__(name=name or f"cpcrash:{key}")
+        self.operator = operator
+        self.key = key
+        self.crashes = 0
+
+    def inject(self):
+        if self.operator.crash_control_plane(self.key):
+            self.injections += 1
+            self.crashes += 1
+
+
+class RestoreFromSnapshot(Fault):
+    """Roll one live tenant control plane back to its last snapshot.
+
+    No crash: the etcd state snaps back in place, every open watch is
+    cancelled, and reflectors must relist cleanly across the restore
+    (their resume revisions are now compacted away).
+    """
+
+    def __init__(self, operator, key, name=None):
+        super().__init__(name=name or f"rollback:{key}")
+        self.operator = operator
+        self.key = key
+        self.rollbacks = 0
+
+    def inject(self):
+        control_plane = self.operator.control_planes.get(self.key)
+        snapshot = self.operator.snapshots.get(self.key)
+        if control_plane is None or snapshot is None:
+            return
+        self.injections += 1
+        self.rollbacks += 1
+        control_plane.api.store.restore(snapshot)
 
 
 class WorkerCrash(Fault):

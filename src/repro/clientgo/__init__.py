@@ -1,5 +1,6 @@
 """client-go analogue: clients, reflectors, informers, work queues."""
 
+from .backoff import JitteredBackoff
 from .cache import (
     INDEX_LABELS,
     INDEX_NAMESPACE,
@@ -9,6 +10,7 @@ from .cache import (
 from .client import Client, Kubeconfig
 from .fairqueue import FairWorkQueue, ShardedFairWorkQueue, shard_hash
 from .informer import InformerFactory, SharedInformer
+from .leaderelection import LEASE_NAMESPACE, LeaderElector
 from .reflector import ADDED, DELETED, MODIFIED, Reflector
 from .workqueue import DelayingQueue, RateLimitingQueue, ShutDown, WorkQueue
 
@@ -21,7 +23,10 @@ __all__ = [
     "INDEX_LABELS",
     "INDEX_NAMESPACE",
     "InformerFactory",
+    "JitteredBackoff",
     "Kubeconfig",
+    "LEASE_NAMESPACE",
+    "LeaderElector",
     "MODIFIED",
     "ObjectCache",
     "RateLimitingQueue",

@@ -99,14 +99,15 @@ class Client:
     def delete(self, plural, name, namespace=None):
         return self._call(self.api.delete, plural, name, namespace=namespace)
 
-    def transaction(self, ops):
+    def transaction(self, ops, fencing=None):
         """Batch of write ops as one request (see APIServer.transaction).
 
         One token-bucket acquire and one request round trip for the whole
         batch; per-op API errors come back in the result list rather than
-        raising.
+        raising.  ``fencing`` is the optional (domain, token) guard an
+        HA leader stamps on its downward writes.
         """
-        return self._call(self.api.transaction, ops)
+        return self._call(self.api.transaction, ops, fencing=fencing)
 
     def bind_pod(self, name, namespace, node_name):
         return self._call(self.api.bind_pod, name, namespace, node_name)

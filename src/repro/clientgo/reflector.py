@@ -17,6 +17,8 @@ from repro.simkernel.errors import Interrupt
 from repro.simkernel.resources import ChannelClosed
 from repro.storage.errors import RevisionCompacted
 
+from .backoff import JitteredBackoff
+
 ADDED = "ADDED"
 MODIFIED = "MODIFIED"
 DELETED = "DELETED"
@@ -44,6 +46,10 @@ class Reflector:
         self.relist_backoff = relist_backoff
         self.max_relist_backoff = max_relist_backoff
         self.backoff_jitter = backoff_jitter
+        self._backoff = JitteredBackoff(sim.rng, relist_backoff,
+                                        max_relist_backoff,
+                                        jitter=backoff_jitter,
+                                        max_exponent=16)
         self.has_synced = False
         self.list_count = 0
         self.watch_failures = 0
@@ -67,11 +73,7 @@ class Reflector:
 
     def next_backoff(self):
         """Jittered exponential backoff for the next relist attempt."""
-        exp = min(self._consecutive_failures, 16)  # avoid silly exponents
-        base = min(self.relist_backoff * (2 ** exp), self.max_relist_backoff)
-        if self.backoff_jitter:
-            base *= 1.0 + self.backoff_jitter * self.sim.rng.random()
-        return base
+        return self._backoff.delay(self._consecutive_failures)
 
     def run(self):
         """The list-then-watch loop."""

@@ -17,6 +17,8 @@ from collections import deque
 
 from repro.simkernel.events import Event
 
+from .backoff import JitteredBackoff
+
 
 class ShutDown(Exception):
     """The queue was shut down while a worker waited on get()."""
@@ -121,6 +123,11 @@ class WorkQueue:
             if waiter.event.callbacks:
                 waiter.fail(ShutDown(self.name))
 
+    def restart(self):
+        """Re-open a shut-down queue (an HA standby promoted to active
+        restarts its controllers on the same queue instances)."""
+        self._shutdown = False
+
     def stats(self):
         return {
             "depth": len(self._queue),
@@ -179,15 +186,13 @@ class RateLimitingQueue(DelayingQueue):
         self._base_delay = base_delay
         self._max_delay = max_delay
         self._jitter = jitter
+        self._backoff = JitteredBackoff(sim.rng, base_delay, max_delay,
+                                        jitter=jitter)
         self._failures = {}
 
     def backoff_for(self, item):
         """The (jittered, capped) delay the next retry of ``item`` pays."""
-        failures = min(self._failures.get(item, 0), 32)
-        delay = min(self._base_delay * (2 ** failures), self._max_delay)
-        if self._jitter:
-            delay *= 1.0 + self._jitter * self.sim.rng.random()
-        return delay
+        return self._backoff.delay(self._failures.get(item, 0))
 
     def add_rate_limited(self, item):
         delay = self.backoff_for(item)

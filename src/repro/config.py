@@ -84,6 +84,18 @@ class SyncerLatency:
     # are coalesced into multi-op transactions.  max=1 disables batching.
     downward_batch_max: int = 1
     downward_batch_linger: float = 0.001   # wait to fill a batch (seconds)
+    # --- HA / crash recovery (DESIGN.md §10) -----------------------------
+    # Leader lease: the active replica renews every lease_renew_interval;
+    # standbys retry at lease_retry_interval and take over once the lease
+    # lapses.  MTTR ~= lease_duration + takeover scan, so these defaults
+    # keep failover well under one scan_interval.
+    lease_duration: float = 6.0
+    lease_renew_interval: float = 2.0
+    lease_retry_interval: float = 0.5
+    lease_jitter: float = 0.2
+    # Tenant control-plane durability: etcd snapshot cadence used by the
+    # tenant operator for crash/restore (DESIGN.md §10.3).
+    snapshot_interval: float = 15.0
 
 
 @dataclass

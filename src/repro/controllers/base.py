@@ -32,6 +32,11 @@ class Controller:
         self.queue.add(obj.key)
 
     def start(self):
+        # Restart-safe: a stopped controller (HA standby re-promoted to
+        # active) re-opens its queue and spawns fresh workers.
+        self._stopped = False
+        self.queue.restart()
+        self._processes = []
         for index in range(self.workers):
             process = self.sim.spawn(
                 self._worker(), name=f"{self.name}-worker-{index}")

@@ -29,6 +29,7 @@ from repro.virtualkubelet import VirtualKubelet
 
 from .controlplane import SuperCluster
 from .crd import make_virtual_cluster
+from .syncer.ha import SyncerHA
 from .syncer.syncer import Syncer
 from .tenant_operator import TenantOperator
 from .vn_agent import VnAgent
@@ -102,7 +103,8 @@ class VirtualClusterEnv:
                  num_real_nodes=0, fair_queuing=True, dws_workers=None,
                  uws_workers=None, scan_interval=None,
                  vc_namespace="vc-manager", sim=None, name="super",
-                 circuit_breaker=True):
+                 circuit_breaker=True, syncer_replicas=1,
+                 warm_standby=True):
         self.sim = sim or Simulation(seed=seed)
         self.name = name
         self.config = config or DEFAULT_CONFIG
@@ -115,19 +117,54 @@ class VirtualClusterEnv:
         self.kube_proxies = {}
         self.vn_agents = {}
         self.tenant_operator = TenantOperator(
-            self.sim, self.super_cluster, self.config)
+            self.sim, self.super_cluster, self.config,
+            on_deprovisioned=self._on_tenant_deprovisioned)
         self.tenant_operator.start()
         syncer_name = "syncer" if name == "super" else f"{name}-syncer"
-        self.syncer = Syncer(
-            self.sim, self.super_cluster, config=self.config,
+        syncer_kwargs = dict(
             fair_queuing=fair_queuing, dws_workers=dws_workers,
             uws_workers=uws_workers, scan_interval=scan_interval,
-            name=syncer_name, circuit_breaker=circuit_breaker)
-        self.syncer.start()
+            circuit_breaker=circuit_breaker)
+        if syncer_replicas > 1:
+            # HA mode (DESIGN.md §10): N replicas behind a lease; the
+            # ``syncer`` property resolves to the serving leader.
+            self.syncer_ha = SyncerHA(
+                self.sim, self.super_cluster, config=self.config,
+                replicas=syncer_replicas, warm_standby=warm_standby,
+                **syncer_kwargs)
+            self._syncer = None
+            self.syncer_ha.start()
+        else:
+            self.syncer_ha = None
+            self._syncer = Syncer(
+                self.sim, self.super_cluster, config=self.config,
+                name=syncer_name, **syncer_kwargs)
+            self._syncer.start()
         self.tenants = {}
         self._num_virtual_nodes = num_virtual_nodes
         self._num_real_nodes = num_real_nodes
         self._bootstrapped = False
+
+    @property
+    def syncer(self):
+        """The syncer serving reads/writes right now.
+
+        Single-replica mode: the one syncer.  HA mode: the serving
+        leader (or the best-informed standby mid-failover).
+        """
+        if self.syncer_ha is not None:
+            return self.syncer_ha.syncer
+        return self._syncer
+
+    def _on_tenant_deprovisioned(self, key, _control_plane):
+        """TenantOperator hook: tear down syncer per-tenant state when a
+        VC is deprovisioned, however the deletion arrived (API delete,
+        finalizer, operator resync) — not just via :meth:`delete_tenant`."""
+        if self.syncer_ha is not None:
+            self.syncer_ha.drop_tenant(key)
+        elif self._syncer is not None:
+            self._syncer.drop_tenant(key)
+        self.tenants.pop(key, None)
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -219,7 +256,10 @@ class VirtualClusterEnv:
                     vc = fresh
                     break
             yield self.sim.timeout(0.1)
-        self.syncer.register_tenant(vc, control_plane, weight=weight)
+        if self.syncer_ha is not None:
+            self.syncer_ha.register_tenant(vc, control_plane, weight=weight)
+        else:
+            self._syncer.register_tenant(vc, control_plane, weight=weight)
         handle = TenantHandle(self, vc, control_plane)
         self.tenants[vc.key] = handle
         if default_namespace:
@@ -232,7 +272,10 @@ class VirtualClusterEnv:
     def delete_tenant(self, handle):
         """Coroutine: remove a tenant (VC deletion + syncer detach)."""
         admin = self.super_cluster.client(user_agent="admin")
-        self.syncer.unregister_tenant(handle.key)
+        if self.syncer_ha is not None:
+            self.syncer_ha.unregister_tenant(handle.key)
+        else:
+            self._syncer.unregister_tenant(handle.key)
         self.tenants.pop(handle.key, None)
         yield from admin.delete("virtualclusters", handle.name,
                                 namespace=self.vc_namespace)

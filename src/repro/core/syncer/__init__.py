@@ -1,6 +1,7 @@
 """The centralized resource syncer."""
 
 from .conversion import tenant_key, tenant_origin, to_super, to_super_pod
+from .ha import SyncerHA
 from .reconcilers import DOWNWARD_TYPES, UPWARD_TYPES
 from .scanner import PeriodicScanner
 from .syncer import Syncer, TenantRegistration
@@ -13,6 +14,7 @@ __all__ = [
     "PeriodicScanner",
     "PodTrace",
     "Syncer",
+    "SyncerHA",
     "TenantRegistration",
     "TraceStore",
     "UPWARD_TYPES",

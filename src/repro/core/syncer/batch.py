@@ -12,6 +12,13 @@ existing ``except AlreadyExists/NotFound/Conflict`` handling is unchanged).
 
 With ``downward_batch_max <= 1`` (the default — paper-faithful behavior)
 the writer is a transparent pass-through to the plain client calls.
+
+When the syncer runs as an HA replica (``syncer.current_fence()`` is not
+None), every write — batched or pass-through — travels as a fenced
+transaction stamped with the leader's (domain, token), so a deposed
+leader's in-flight writes die at the store with
+:class:`~repro.apiserver.errors.FencingConflict` instead of racing its
+successor (split-brain protection, DESIGN.md §10).
 """
 
 from repro.apiserver.errors import ServerUnavailable
@@ -35,31 +42,66 @@ class DownwardBatchWriter:
         self.batches_flushed = 0
         self.ops_batched = 0
         self.largest_batch = 0
+        self.fenced_writes = 0
 
     # ------------------------------------------------------------------
     # Write API (mirrors the Client write verbs; all coroutines)
     # ------------------------------------------------------------------
 
+    def _fence(self):
+        """The owner's (domain, token) stamp, or None outside HA.  Kept
+        getattr-soft so writer tests can stub the syncer."""
+        current = getattr(self.syncer, "current_fence", None)
+        return current() if current is not None else None
+
     def create(self, obj, namespace=None):
         if not self.enabled:
-            return (yield from self.client.create(obj, namespace=namespace))
+            fence = self._fence()
+            if fence is None:
+                return (yield from self.client.create(obj,
+                                                      namespace=namespace))
+            return (yield from self._fenced_single(
+                ("create", obj, namespace), fence))
         return (yield from self._submit(("create", obj, namespace)))
 
     def update(self, obj):
         if not self.enabled:
-            return (yield from self.client.update(obj))
+            fence = self._fence()
+            if fence is None:
+                return (yield from self.client.update(obj))
+            return (yield from self._fenced_single(("update", obj, None),
+                                                   fence))
         return (yield from self._submit(("update", obj, None)))
 
     def update_status(self, obj):
         if not self.enabled:
-            return (yield from self.client.update_status(obj))
+            fence = self._fence()
+            if fence is None:
+                return (yield from self.client.update_status(obj))
+            return (yield from self._fenced_single(("update", obj, "status"),
+                                                   fence))
         return (yield from self._submit(("update", obj, "status")))
 
     def delete(self, plural, name, namespace=None):
         if not self.enabled:
-            return (yield from self.client.delete(plural, name,
-                                                  namespace=namespace))
+            fence = self._fence()
+            if fence is None:
+                return (yield from self.client.delete(plural, name,
+                                                      namespace=namespace))
+            return (yield from self._fenced_single(
+                ("delete", plural, name, namespace), fence))
         return (yield from self._submit(("delete", plural, name, namespace)))
+
+    def _fenced_single(self, op, fence):
+        """Pass-through write as a 1-op fenced transaction: same CAS and
+        validation cores, plus the split-brain guard; the per-op error
+        re-raises so reconcilers' existing handling is unchanged."""
+        results = yield from self.client.transaction([op], fencing=fence)
+        self.fenced_writes += 1
+        result = results[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
 
     # ------------------------------------------------------------------
     # Batching machinery
@@ -85,14 +127,17 @@ class DownwardBatchWriter:
                                     self._pending[self.batch_max:])
             if not batch:
                 break
+            fence = self._fence()
             try:
                 results = yield from self.client.transaction(
-                    [op for op, _event in batch])
+                    [op for op, _event in batch], fencing=fence)
             except Exception as exc:  # noqa: BLE001 - fanned out to waiters
                 for _op, event in batch:
                     event.fail(exc)
                     event.defused = True
                 continue
+            if fence is not None:
+                self.fenced_writes += 1
             self.batches_flushed += 1
             self.ops_batched += len(batch)
             self.largest_batch = max(self.largest_batch, len(batch))
@@ -102,6 +147,11 @@ class DownwardBatchWriter:
                 else:
                     event.succeed(result)
         self._flusher = None
+
+    def start(self):
+        """(Re-)arm the writer; a deposed leader that wins a later term
+        reuses the same instance."""
+        self._stopped = False
 
     def stop(self):
         self._stopped = True
@@ -119,4 +169,5 @@ class DownwardBatchWriter:
             "ops_batched": self.ops_batched,
             "largest_batch": self.largest_batch,
             "pending": len(self._pending),
+            "fenced_writes": self.fenced_writes,
         }

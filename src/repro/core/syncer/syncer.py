@@ -23,6 +23,7 @@ from repro.apiserver.errors import ApiError
 from repro.clientgo import (
     FairWorkQueue,
     InformerFactory,
+    JitteredBackoff,
     ShardedFairWorkQueue,
     ShutDown,
 )
@@ -168,6 +169,13 @@ class Syncer:
         self._processes = []
         self._stopped = False
         self._started = False
+        self._informers_started = False
+        # HA (DESIGN.md §10): set by SyncerHA when this instance is one
+        # replica of an active/standby group.  While set, every downward
+        # write is stamped with (ha_domain, fencing_token) so the store
+        # rejects a deposed leader's in-flight batches.
+        self.ha_domain = None
+        self.fencing_token = 0
         self._setup_super_informers()
         self._register_memory_meters()
 
@@ -274,6 +282,13 @@ class Syncer:
     def metrics_inc(self, counter):
         self.counters[counter] = self.counters.get(counter, 0) + 1
 
+    def current_fence(self):
+        """The (domain, token) stamp for downward writes, or None when
+        this syncer is not running as an HA replica."""
+        if self.ha_domain is None:
+            return None
+        return (self.ha_domain, self.fencing_token)
+
     # ------------------------------------------------------------------
     # Tenant registration
     # ------------------------------------------------------------------
@@ -304,8 +319,9 @@ class Syncer:
             informer = informers.informer(plural)
             if plural in DOWNWARD_TYPES:
                 self._wire_downward_handlers(tenant, plural, informer)
-        if self._started:
+        if self._informers_started:
             informers.start_all()
+        if self._started:
             self.scanner.start_tenant(tenant)
         return registration
 
@@ -319,6 +335,10 @@ class Syncer:
         registration.informers.stop_all()
         self.downward.remove_tenant(tenant)
         self.upward.remove_tenant(tenant)
+
+    # Teardown of per-tenant state when a VC is deprovisioned (wired to
+    # TenantOperator's on_deprovisioned hook): identical to unregistering.
+    drop_tenant = unregister_tenant
 
     def _wire_downward_handlers(self, tenant, plural, informer):
         def on_add(obj):
@@ -452,7 +472,9 @@ class Syncer:
             ANNOTATION_TENANT_NAMESPACE: tenant_namespace,
         }
         try:
-            yield from self.super_client.create(namespace)
+            # Routed through the batch writer so the create is fenced
+            # (and batched) like every other downward write.
+            yield from self.super_writer.create(namespace)
         except ApiError:
             pass
         return sname
@@ -470,13 +492,29 @@ class Syncer:
 
     def start(self):
         """Start informers, workers, scanners, vNode heartbeats."""
-        if self._started:
+        self.start_processing()
+
+    def start_informers(self):
+        """Start (only) the informer machinery: list+watch into caches.
+
+        An HA standby runs exactly this — warm caches, no reconciling —
+        so its takeover skips the full relist a cold start pays.
+        """
+        if self._informers_started:
             return
-        self._started = True
-        self._stopped = False
+        self._informers_started = True
         self.super_informers.start_all()
         for registration in self.tenants.values():
             registration.informers.start_all()
+
+    def start_processing(self):
+        """Start workers, scanners and heartbeats (informers implied)."""
+        if self._started:
+            return
+        self.start_informers()
+        self._started = True
+        self._stopped = False
+        self.super_writer.start()
         for index in range(self.dws_workers):
             label = f"{self.name}-dws-{index}"
             shard = index % self.dispatch_shards
@@ -497,24 +535,57 @@ class Syncer:
         self._processes.append(self.spawn(self._memory_sampler(),
                                           name=f"{self.name}-mem-sampler"))
 
-    def stop(self):
+    def stop_processing(self):
+        """Stop reconciling but keep informer caches warm.
+
+        This is what a deposed HA leader does on losing its lease: the
+        replica drops back to standby (warm caches, no writes) and can
+        take over again later.  Work queues stay open so the backlog is
+        there for the next leader term.
+        """
         self._stopped = True
+        if not self._started:
+            return
+        self._started = False
         self.super_writer.stop()
-        self.downward.shutdown()
-        self.upward.shutdown()
         self.scanner.stop()
         self.vnodes.stop()
         self.health.stop()
         for process in self._processes:
-            process.interrupt("syncer stopped")
+            process.interrupt("syncer stopped processing")
         self._processes = []
         for worker in list(self.worker_processes.values()):
-            worker.interrupt("syncer stopped")
+            worker.interrupt("syncer stopped processing")
         self.worker_processes = {}
+
+    def stop_informers(self):
+        """Stop every informer and drop its cache.
+
+        A crashed replica loses all in-memory state; a later
+        :meth:`start_informers` relists everything from scratch.
+        """
         self.super_informers.stop_all()
         for registration in self.tenants.values():
             registration.informers.stop_all()
-        self._started = False
+        for informer in self.super_informers.informers.values():
+            self._reset_informer(informer)
+        for registration in self.tenants.values():
+            for informer in registration.informers.informers.values():
+                self._reset_informer(informer)
+        self._informers_started = False
+
+    @staticmethod
+    def _reset_informer(informer):
+        informer.cache.replace([])
+        informer.reflector.has_synced = False
+        informer.reflector._stopped = False
+        informer.reflector._process = None
+
+    def stop(self):
+        self.stop_processing()
+        self.downward.shutdown()
+        self.upward.shutdown()
+        self.stop_informers()
 
     def wait_for_sync(self):
         """Coroutine: block until every informer cache is primed."""
@@ -528,25 +599,25 @@ class Syncer:
         Returns the simulated seconds it took to re-prime every cache.
         """
         started = self.sim.now
-        self.super_informers.stop_all()
-        for registration in self.tenants.values():
-            registration.informers.stop_all()
-        for informer in self.super_informers.informers.values():
-            informer.cache.replace([])
-            informer.reflector.has_synced = False
-            informer.reflector._stopped = False
-            informer.reflector._process = None
-        for registration in self.tenants.values():
-            for informer in registration.informers.informers.values():
-                informer.cache.replace([])
-                informer.reflector.has_synced = False
-                informer.reflector._stopped = False
-                informer.reflector._process = None
-        self.super_informers.start_all()
-        for registration in self.tenants.values():
-            registration.informers.start_all()
+        self.stop_informers()
+        self.start_informers()
         yield from self.wait_for_sync()
         return self.sim.now - started
+
+    def rebuild_namespace_origins(self):
+        """Repopulate the super-namespace origin map from the warm cache.
+
+        The map is in-memory only; a standby that just took over needs
+        it before upward Events/Endpoints can be routed to their tenant.
+        """
+        for namespace in self.super_informer("namespaces").cache.items():
+            annotations = namespace.metadata.annotations or {}
+            vc_key = annotations.get(ANNOTATION_VC)
+            tenant_ns = annotations.get(ANNOTATION_TENANT_NAMESPACE)
+            if vc_key and tenant_ns is not None:
+                name = namespace.metadata.name
+                self._namespace_origin[name] = (vc_key, tenant_ns)
+                self._ensured_namespaces.add(name)
 
     # ------------------------------------------------------------------
     # Workers
@@ -561,7 +632,8 @@ class Syncer:
         :attr:`worker_restarts` and the ``worker_restarts`` counter.
         """
         cfg = self.config.syncer
-        backoff = cfg.watchdog_base_backoff
+        backoff = JitteredBackoff(self.sim.rng, cfg.watchdog_base_backoff,
+                                  cfg.watchdog_max_backoff, jitter=0.0)
         while not self._stopped:
             worker = self.spawn(factory(), name=label)
             self.worker_processes[label] = worker
@@ -581,12 +653,11 @@ class Syncer:
                 self.worker_restarts.get(label, 0) + 1)
             self.metrics_inc("worker_restarts")
             if self.sim.now - started >= cfg.watchdog_stable_after:
-                backoff = cfg.watchdog_base_backoff
+                backoff.reset()
             try:
-                yield self.sim.timeout(backoff)
+                yield self.sim.timeout(backoff.next())
             except Interrupt:
                 return
-            backoff = min(backoff * 2, cfg.watchdog_max_backoff)
 
     def _queue_get(self, queue, shard):
         if self.dispatch_shards > 1:

@@ -57,6 +57,49 @@ class VNodeManager:
     def vnodes_for(self, tenant):
         return sorted(self._bindings.get(tenant, {}))
 
+    def rebuild(self, tenant):
+        """Repopulate bindings from warm informer caches (HA takeover).
+
+        Binding state is in-memory only, so a standby that just became
+        leader starts empty — and an empty expected-set would make
+        :meth:`reconcile_tenant` delete every *live* vNode.  Rebuild the
+        expected state from the super pods cache (scheduled, managed pods
+        owned by this tenant) and mark vNodes already present in the
+        tenant control plane as created.
+        """
+        from .conversion import (
+            INDEX_TENANT,
+            is_managed,
+            tenant_index,
+            tenant_key,
+        )
+
+        registration = self.syncer.tenants.get(tenant)
+        if registration is None:
+            return
+        super_cache = self.syncer.super_informer("pods").cache
+        if self.syncer.config.syncer.use_cache_indexes:
+            super_cache.add_index(INDEX_TENANT, tenant_index)
+            candidates = super_cache.by_index(INDEX_TENANT, tenant)
+        else:
+            candidates = super_cache.items()
+        bindings = {}
+        for pod in candidates:
+            if not is_managed(pod) or not self.syncer.owns(tenant, pod):
+                continue
+            if not pod.spec.node_name or pod.metadata.deletion_timestamp:
+                continue
+            t_key = tenant_key(pod)
+            if t_key is None:
+                continue
+            bindings.setdefault(pod.spec.node_name, set()).add(t_key)
+        self._bindings[tenant] = bindings
+        self._created = {(t, n) for (t, n) in self._created if t != tenant}
+        tenant_nodes = self.syncer.tenant_informer(tenant, "nodes").cache
+        for node in tenant_nodes.items():
+            if (node.metadata.labels or {}).get(VNODE_LABEL) == "true":
+                self._created.add((tenant, node.metadata.name))
+
     # ------------------------------------------------------------------
     # vNode object lifecycle
     # ------------------------------------------------------------------

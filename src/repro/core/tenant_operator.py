@@ -10,12 +10,14 @@ reach every tenant, and deprovisioning on VC deletion.
 from repro.apiserver.errors import AlreadyExists, ApiError, NotFound
 from repro.controllers.base import Controller
 from repro.objects import Secret
+from repro.simkernel.errors import Interrupt
 
 from .controlplane import TenantControlPlane
 from .crd import VirtualCluster, cluster_prefix
 
 PROVISION_DELAY_LOCAL = 1.5   # etcd + apiserver + kcm pods come up
 PROVISION_DELAY_CLOUD = 20.0  # managed control plane (ACK/EKS) provisioning
+RESTORE_DELAY = 2.0           # rehydrate etcd from the last snapshot
 VC_FINALIZER = "tenancy.x-k8s.io/vc-protection"
 
 
@@ -33,6 +35,16 @@ class TenantOperator(Controller):
         self.on_provisioned = on_provisioned
         self.on_deprovisioned = on_deprovisioned
         self.control_planes = {}
+        # Durability (DESIGN.md §10.3): periodic etcd snapshots per tenant
+        # control plane, so a crashed one restarts from its last snapshot
+        # instead of empty.  vc key -> latest EtcdStore.snapshot() dict.
+        self.snapshots = {}
+        self.snapshot_interval = getattr(
+            config.syncer, "snapshot_interval", 0.0)
+        self._needs_restore = set()
+        self._snapshot_process = None
+        self.snapshots_taken = 0
+        self.restores_total = 0
         self._vc_informer = super_cluster.informer_factory.informer(
             "virtualclusters")
         self._vc_informer.add_handlers(
@@ -45,8 +57,18 @@ class TenantOperator(Controller):
         if self._vc_informer.reflector._process is None:
             self._vc_informer.start()
 
+    def start(self):
+        processes = super().start()
+        if self.snapshot_interval > 0 and self._snapshot_process is None:
+            self._snapshot_process = self.sim.spawn(
+                self._snapshot_loop(), name="tenant-operator-snapshots")
+            self._processes.append(self._snapshot_process)
+        return processes
+
     def reconcile(self, key):
         vc = self._vc_informer.cache.get_copy(key)
+        if key in self._needs_restore and key in self.control_planes:
+            yield from self._restore(key)
         if vc is None:
             yield from self._deprovision(key)
             return
@@ -132,12 +154,79 @@ class TenantOperator(Controller):
 
     def _deprovision(self, key):
         control_plane = self.control_planes.pop(key, None)
+        self.snapshots.pop(key, None)
+        self._needs_restore.discard(key)
         if control_plane is None:
             return
         yield self.sim.timeout(0.5)
         control_plane.stop()
         if self.on_deprovisioned is not None:
             self.on_deprovisioned(key, control_plane)
+
+    # ------------------------------------------------------------------
+    # Snapshots / crash recovery (DESIGN.md §10.3)
+    # ------------------------------------------------------------------
+
+    def _snapshot_loop(self):
+        while not self._stopped:
+            try:
+                yield self.sim.timeout(self.snapshot_interval)
+            except Interrupt:
+                return
+            self.snapshot_all()
+
+    def snapshot_all(self):
+        """Snapshot every healthy tenant control plane's etcd."""
+        for key in list(self.control_planes):
+            self.snapshot_now(key)
+
+    def snapshot_now(self, key):
+        """Snapshot one tenant control plane's etcd store.
+
+        A crashed control plane (awaiting restore) is skipped so its
+        wiped store cannot overwrite the last good snapshot.
+        """
+        control_plane = self.control_planes.get(key)
+        if control_plane is None or key in self._needs_restore:
+            return None
+        snapshot = control_plane.api.store.snapshot()
+        self.snapshots[key] = snapshot
+        self.snapshots_taken += 1
+        return snapshot
+
+    def crash_control_plane(self, key):
+        """Chaos hook: the tenant control plane dies and loses its state.
+
+        The apiserver goes down (every open watch breaks), the etcd data
+        is wiped (catastrophic loss — the case snapshots exist for) and
+        the VC is queued so the reconcile loop drives the restore.
+        """
+        control_plane = self.control_planes.get(key)
+        if control_plane is None:
+            return False
+        control_plane.stop()
+        control_plane.api.crash()
+        control_plane.api.store.wipe()
+        self._needs_restore.add(key)
+        self.enqueue(key)
+        return True
+
+    def _restore(self, key):
+        """Coroutine: reprovision a crashed control plane from its last
+        snapshot (or empty, if it crashed before the first snapshot)."""
+        control_plane = self.control_planes.get(key)
+        if control_plane is None:
+            self._needs_restore.discard(key)
+            return
+        yield self.sim.timeout(RESTORE_DELAY)
+        snapshot = self.snapshots.get(key)
+        if snapshot is not None:
+            control_plane.api.store.restore(snapshot)
+        control_plane.api.recover()
+        # Fresh kcm: controllers relist against the restored state.
+        control_plane.start()
+        self._needs_restore.discard(key)
+        self.restores_total += 1
 
     def control_plane_for(self, vc_key):
         return self.control_planes.get(vc_key)

@@ -2,6 +2,7 @@
 
 from .reporting import (
     format_bucket_table,
+    format_failover,
     format_histogram,
     format_hotpath,
     format_phase_breakdown,
@@ -13,6 +14,7 @@ from .reporting import (
 
 __all__ = [
     "format_bucket_table",
+    "format_failover",
     "format_histogram",
     "format_hotpath",
     "format_phase_breakdown",

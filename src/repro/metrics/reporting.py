@@ -101,6 +101,36 @@ def format_syncer_health(syncer, title="Syncer health"):
     return "\n".join(lines)
 
 
+def format_failover(ha, title="Syncer HA failover"):
+    """Render the failover log of a :class:`SyncerHA` group: one row per
+    leadership term (identity, fencing token, time-to-sync, MTTR), plus
+    the elector counters and the fenced-write / fencing-rejection totals
+    that prove the split-brain guard ran (DESIGN.md §10)."""
+    rows = [
+        [record["identity"], record["token"],
+         f"{record['elected_at']:.2f}", f"{record['serving_at']:.2f}",
+         f"{record['sync_seconds']:.3f}",
+         "-" if record["mttr"] is None else f"{record['mttr']:.3f}"]
+        for record in ha.failovers
+    ]
+    if not rows:
+        rows = [["(no leader yet)", "-", "-", "-", "-", "-"]]
+    table = format_table(
+        ["leader", "token", "elected", "serving", "sync (s)", "MTTR (s)"],
+        rows, title=title)
+    lines = [table]
+    for elector in ha.electors:
+        stats = elector.stats()
+        lines.append(
+            f"  {stats['identity']}: acquisitions={stats['acquisitions']} "
+            f"renewals={stats['renewals']} losses={stats['losses']}"
+            + (" [leading]" if stats["is_leader"] else ""))
+    store = ha.super_cluster.api.store
+    lines.append(f"fenced writes: {ha.stats()['fenced_writes']}  "
+                 f"fencing rejections: {store.fencing_rejections}")
+    return "\n".join(lines)
+
+
 def summarize(result):
     """One-line summary of a StressResult."""
     return (f"{result.mode}: pods={result.num_pods} "

@@ -8,6 +8,7 @@ validation, label/field selectors, and resource quantities.
 
 from .base import Field, Serializable
 from .config import ConfigMap, Secret
+from .coordination import Lease, LeaseSpec
 from .crd import CustomResourceDefinition, make_custom_type
 from .factory import make_pod, make_service, with_anti_affinity
 from .meta import (
@@ -83,6 +84,7 @@ BUILTIN_TYPES = (
     StorageClass,
     Deployment,
     ReplicaSet,
+    Lease,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,42 @@
+"""coordination.k8s.io: the Lease object used for leader election.
+
+Mirrors the upstream ``coordination.k8s.io/v1`` Lease: a tiny record
+naming the current holder, how long its claim lasts, and a transition
+counter that increments every time leadership changes hands.  The
+transition counter doubles as the *fencing token* — it is monotonic per
+acquisition, so storage layers can reject writes stamped with a stale
+token (see ``EtcdStore.check_fence``).
+
+Timestamps are simulation-clock floats, not RFC3339 strings; the sim has
+one global clock so no skew modelling is needed beyond the jitter the
+electors themselves introduce.
+"""
+
+from .base import Field, Serializable
+from .meta import KubeObject
+
+
+class LeaseSpec(Serializable):
+    FIELDS = (
+        Field("holder_identity"),
+        Field("lease_duration_seconds", default=15.0),
+        Field("acquire_time"),
+        Field("renew_time"),
+        Field("lease_transitions", default=0),
+    )
+
+    def expired(self, now):
+        """True once the holder's claim has lapsed (or never existed)."""
+        if not self.holder_identity or self.renew_time is None:
+            return True
+        return now >= self.renew_time + self.lease_duration_seconds
+
+
+class Lease(KubeObject):
+    API_VERSION = "coordination.k8s.io/v1"
+    KIND = "Lease"
+    PLURAL = "leases"
+
+    FIELDS = (
+        Field("spec", type=LeaseSpec, default_factory=LeaseSpec),
+    )

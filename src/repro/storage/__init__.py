@@ -1,6 +1,7 @@
 """etcd-like MVCC storage for control planes."""
 
 from .errors import (
+    FencingRevoked,
     KeyAlreadyExists,
     KeyNotFound,
     RevisionCompacted,
@@ -13,6 +14,7 @@ __all__ = [
     "EVENT_DELETE",
     "EVENT_PUT",
     "EtcdStore",
+    "FencingRevoked",
     "KeyAlreadyExists",
     "KeyNotFound",
     "RevisionCompacted",

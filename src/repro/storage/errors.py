@@ -42,3 +42,21 @@ class RevisionCompacted(StorageError):
         )
         self.requested = requested
         self.compacted = compacted
+
+
+class FencingRevoked(StorageError):
+    """A write carried a fencing token older than the highest one seen.
+
+    Raised by :meth:`EtcdStore.check_fence` when a deposed leader's
+    in-flight write arrives after its successor has already written with
+    a newer token; the write must be dropped, not retried.
+    """
+
+    def __init__(self, domain, token, current):
+        super().__init__(
+            f"fencing token {token} for {domain!r} revoked "
+            f"(current {current})"
+        )
+        self.domain = domain
+        self.token = token
+        self.current = current

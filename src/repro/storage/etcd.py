@@ -18,6 +18,7 @@ callers can never alias stored state.
 from repro.objects.base import fast_deep_copy
 
 from .errors import (
+    FencingRevoked,
     KeyAlreadyExists,
     KeyNotFound,
     RevisionCompacted,
@@ -105,6 +106,10 @@ class EtcdStore:
         self._compacted_revision = 0
         self._history_limit = history_limit
         self._watches = set()
+        # Fencing tokens: domain -> highest token observed (see
+        # :meth:`check_fence`).  Survives snapshot/restore.
+        self._fences = {}
+        self.fencing_rejections = 0
         # Multi-op transaction accounting (see :meth:`txn`).
         self.txns = 0
         self.txn_ops = 0
@@ -279,6 +284,146 @@ class EtcdStore:
             self._history = self._history[-keep:] if keep else []
 
     # ------------------------------------------------------------------
+    # Fencing (leader election split-brain protection)
+    # ------------------------------------------------------------------
+
+    def check_fence(self, domain, token):
+        """Admit a write stamped with a fencing token, or reject it.
+
+        Tokens are monotonic per acquisition of the leader lease for
+        ``domain``.  The first token seen for a domain (and any higher
+        token) is admitted and becomes the floor; a *lower* token means
+        the writer was deposed after a successor already wrote — its
+        in-flight work must be dropped, so :class:`FencingRevoked` is
+        raised.  A new leader establishes its floor by issuing an empty
+        fenced transaction (a fence barrier) before serving.
+        """
+        current = self._fences.get(domain)
+        if current is not None and token < current:
+            self.fencing_rejections += 1
+            raise FencingRevoked(domain, token, current)
+        self._fences[domain] = token
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (durability for crashed control planes)
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """A revision-consistent, fully-detached copy of the store.
+
+        Captures data, the revision counter, the compaction floor and
+        the fencing floors — everything needed to rebuild an equivalent
+        store.  Watch registrations and replay history are deliberately
+        excluded: they belong to live sessions, which a restore severs.
+        """
+        return {
+            "name": self.name,
+            "revision": self._revision,
+            "compacted_revision": self._compacted_revision,
+            "fences": dict(self._fences),
+            "data": {
+                key: (fast_deep_copy(stored.value), stored.create_revision,
+                      stored.mod_revision, stored.version)
+                for key, stored in self._data.items()
+            },
+        }
+
+    def restore(self, snapshot, replay=()):
+        """Replace all state from a snapshot, then replay a WAL tail.
+
+        ``replay`` is a sequence of :class:`WatchEvent` (typically from
+        :meth:`events_since` captured on another store, or buffered by
+        the operator) applied at their recorded revisions — events at or
+        below the snapshot revision are skipped, so handing the full
+        tail back is idempotent.
+
+        Every open watch is cancelled: watchers cannot observe a
+        consistent stream across the discontinuity, so their channels
+        close and reflectors relist.  The compaction floor then moves to
+        the post-replay revision, which makes any stale watch *resume*
+        (``from_revision`` below the restore point) fail with
+        :class:`RevisionCompacted` instead of silently missing events.
+
+        Returns the store revision after the restore.
+        """
+        for watch in list(self._watches):
+            watch.cancel()
+        self._data = {}
+        self._buckets = {}
+        for key, (value, create_rev, mod_rev, version) in \
+                snapshot["data"].items():
+            self._data[key] = StoredValue(fast_deep_copy(value), create_rev,
+                                          mod_rev, version)
+            self._index_add(key)
+        self._revision = snapshot["revision"]
+        self._fences = dict(snapshot.get("fences", {}))
+        self._history = []
+        for event in replay:
+            if event.revision > self._revision:
+                self._apply_replayed(event)
+        self._compacted_revision = self._revision
+        return self._revision
+
+    def _apply_replayed(self, event):
+        """Apply one WAL event at its recorded revision (no re-emit:
+        restore cancelled every watch, and history restarts afterwards)."""
+        if event.type == EVENT_PUT:
+            stored = self._data.get(event.key)
+            if stored is None:
+                self._data[event.key] = StoredValue(
+                    fast_deep_copy(event.value), event.revision,
+                    event.revision, 1)
+                self._index_add(event.key)
+            else:
+                stored.value = fast_deep_copy(event.value)
+                stored.mod_revision = event.revision
+                stored.version += 1
+        elif event.type == EVENT_DELETE:
+            if self._data.pop(event.key, None) is not None:
+                self._index_remove(event.key)
+        self._revision = max(self._revision, event.revision)
+
+    def events_since(self, revision):
+        """The WAL tail: detached copies of all events after ``revision``.
+
+        Raises :class:`RevisionCompacted` when part of the tail has been
+        compacted away — the caller must fall back to snapshot-only
+        recovery (or take a fresh snapshot) instead of replaying a gap.
+        """
+        if revision < self._compacted_revision:
+            raise RevisionCompacted(revision, self._compacted_revision)
+        return [
+            WatchEvent(event.type, event.key, fast_deep_copy(event.value),
+                       event.revision,
+                       prev_value=fast_deep_copy(event.prev_value)
+                       if event.prev_value is not None else None)
+            for event in self._history if event.revision > revision
+        ]
+
+    def wipe(self):
+        """Simulate catastrophic data loss: everything gone, watches cut.
+
+        Used by chaos' crash-control-plane fault; recovery is a
+        :meth:`restore` from the last snapshot.
+        """
+        for watch in list(self._watches):
+            watch.cancel()
+        self._data = {}
+        self._buckets = {}
+        self._history = []
+        self._revision = 0
+        self._compacted_revision = 0
+        self._fences = {}
+
+    def dump(self):
+        """Canonical detached image of current data (tests/benchmarks)."""
+        return {
+            key: (fast_deep_copy(stored.value), stored.create_revision,
+                  stored.mod_revision, stored.version)
+            for key, stored in self._data.items()
+        }
+
+    # ------------------------------------------------------------------
     # Introspection / memory accounting
     # ------------------------------------------------------------------
 
@@ -295,4 +440,6 @@ class EtcdStore:
             "txns": self.txns,
             "txn_ops": self.txn_ops,
             "largest_txn": self.largest_txn,
+            "fences": dict(self._fences),
+            "fencing_rejections": self.fencing_rejections,
         }
