@@ -124,6 +124,15 @@ def fairness_run(fair, seed=0):
     return _run_cache[key]
 
 
+def registry_family(result, name):
+    """The named metric family from a StressResult's telemetry snapshot."""
+    for family in result.telemetry["families"]:
+        if family["name"] == name:
+            return family
+    raise AssertionError(
+        f"metric family {name!r} missing from telemetry snapshot")
+
+
 @pytest.fixture
 def params():
     return PARAMS

@@ -9,9 +9,11 @@ and 40 regular tenants issuing 10 sequential creations, equal weights.
   delay many regular users significantly.
 """
 
+import pytest
+
 from repro.metrics import format_table
 
-from benchmarks.conftest import PARAMS, once, fairness_run
+from benchmarks.conftest import PARAMS, once, fairness_run, registry_family
 
 
 def _tenant_rows(result):
@@ -38,6 +40,26 @@ def test_fig11a_fair_queuing_enabled(benchmark):
     assert worst_regular < PARAMS["regular_bound_s"]
     # Greedy users suffer much higher averages than regular users.
     assert best_greedy > 2 * worst_regular
+
+    # The registry tells the same story: per-tenant means recomputed
+    # from the pod_creation_seconds family match the trace store, and
+    # fairqueue_dispatch_total shows the WRR rotation actually served
+    # every tenant on the downward queue.
+    creation = registry_family(result, "pod_creation_seconds")
+    for series in creation["series"]:
+        tenant = series["labels"]["tenant"]
+        assert series["sum"] / series["count"] == pytest.approx(
+            result.per_tenant_mean[tenant])
+    dispatch = registry_family(result, "fairqueue_dispatch_total")
+    served = {s["labels"]["tenant"]: s["value"]
+              for s in dispatch["series"]
+              if s["labels"]["queue"].endswith("-downward")}
+    for tenant in result.per_tenant_mean:
+        assert served.get(tenant, 0) > 0
+    print(format_table(
+        ["tenant", "downward dispatches"],
+        sorted((t.split("/")[-1], int(v)) for t, v in served.items())[:10],
+        title="Registry: fairqueue_dispatch_total (first 10 tenants)"))
 
 
 def test_fig11b_fair_queuing_disabled(benchmark):

@@ -13,9 +13,15 @@ to reproduce:
 
 import pytest
 
-from repro.metrics import format_histogram, summarize
+from repro.metrics import format_histogram, format_telemetry, summarize
 
-from benchmarks.conftest import PARAMS, baseline_run, once, vc_run
+from benchmarks.conftest import (
+    PARAMS,
+    baseline_run,
+    once,
+    registry_family,
+    vc_run,
+)
 
 
 @pytest.mark.parametrize("num_pods", PARAMS["pods_sweep"])
@@ -49,6 +55,17 @@ def test_fig7_vc_vs_baseline_histograms(benchmark, num_pods):
                  if value <= baseline_range)
     assert within / num_pods > 0.2
     assert vc.percentile(50) <= 2.5 * base.percentile(99)
+
+    # The same distribution, read back from the telemetry registry: the
+    # pod_creation_seconds histogram family (one series per tenant) must
+    # account for every pod and agree with the trace-store totals.
+    family = registry_family(vc, "pod_creation_seconds")
+    assert sum(s["count"] for s in family["series"]) == num_pods
+    assert sum(s["sum"] for s in family["series"]) == pytest.approx(
+        sum(vc.creation_times))
+    print(format_telemetry(
+        vc.telemetry, title="Registry view (Fig. 7 sources)",
+        families=("pod_creation_seconds", "pod_phase_seconds")))
 
 
 def test_fig7_tenant_count_does_not_change_latency(benchmark):

@@ -4,6 +4,7 @@
 #
 # Usage:  scripts/tier1.sh [extra pytest args...]
 #         scripts/tier1.sh --chaos-smoke [seed]
+#         scripts/tier1.sh --telemetry-smoke [seed]
 #
 # Runs the tier1-marked tests (every test except the long soak runs)
 # exactly as the CI gate does.  The coverage floor is enforced only
@@ -18,6 +19,11 @@
 # leader crash with standby failover, tenant control-plane crash
 # restored from its etcd snapshot, snapshot rollback).  Exit 0 means
 # both runs healed.
+#
+# --telemetry-smoke runs a small seeded stress mix and exports the
+# telemetry snapshot as JSON, asserting it parses and that every core
+# metric family (apiserver, etcd, workqueue, informer, syncer,
+# scheduler, kubelet, spans) is present with recorded activity.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +35,19 @@ if [[ "${1:-}" == "--chaos-smoke" ]]; then
     echo "tier1: chaos smoke (seed=$seed), HA fault mix (--kill-leader)" >&2
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python -m repro.chaos --seed "$seed" --horizon 30 --kill-leader
+    exit 0
+fi
+
+if [[ "${1:-}" == "--telemetry-smoke" ]]; then
+    seed="${2:-0}"
+    echo "tier1: telemetry smoke (seed=$seed), JSON export + core families" >&2
+    out="$(mktemp)"
+    trap 'rm -f "$out"' EXIT
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.telemetry --seed "$seed" --pods 40 --tenants 3 \
+        --nodes 6 --format json --output "$out" --check
+    python -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
+    echo "tier1: telemetry smoke OK (JSON parses, core families active)" >&2
     exit 0
 fi
 

@@ -12,6 +12,7 @@ import string
 
 from repro.config import DEFAULT_CONFIG
 from repro.objects import Namespace, generate_uid
+from repro.telemetry import telemetry_of
 from repro.objects.validation import ValidationError, validate_metadata
 from repro.storage import (
     EVENT_PUT,
@@ -135,6 +136,11 @@ class APIServer:
         self._watch_streams = []
         self.request_count = 0
         self.healthy = True
+        telemetry = telemetry_of(sim)
+        self._tracer = telemetry.tracer
+        self._requests_total = telemetry.counter(
+            "apiserver_requests_total", "apiserver requests by verb",
+            labels=("server", "verb"))
         # Chaos hook (see repro.chaos.faults): may inject per-verb errors
         # or latency into the request path.
         self.fault_injector = None
@@ -169,7 +175,11 @@ class APIServer:
     # ------------------------------------------------------------------
 
     def _begin(self, credential, verb, plural, namespace=None, name=None):
-        """Common request front half: authn, authz, overhead charge."""
+        """Common request front half: authn, authz, overhead charge.
+
+        Returns ``(credential, span)``; the span covers the whole
+        request (queueing included) and is finished by :meth:`_release`.
+        """
         if not self.healthy:
             from .errors import ServerUnavailable
 
@@ -177,24 +187,42 @@ class APIServer:
         if self.fault_injector is not None:
             yield from self.fault_injector.on_request(verb, plural)
         self.request_count += 1
-        if self.swap_state is not None:
-            yield from self.swap_state.ensure_awake()
-        credential = self.authenticator.authenticate(credential)
-        self.authorizer.authorize(credential, verb, plural, namespace, name)
-        if self._apf is not None:
-            yield self._apf.acquire(credential.user)
-        yield self._inflight.acquire()
+        self._requests_total.labels(server=self.name, verb=verb).inc()
+        span = self._span_start(verb)
         try:
-            yield self.sim.timeout(self.config.apiserver.request_overhead)
+            if self.swap_state is not None:
+                yield from self.swap_state.ensure_awake()
+            credential = self.authenticator.authenticate(credential)
+            self.authorizer.authorize(credential, verb, plural, namespace,
+                                      name)
+            if self._apf is not None:
+                yield self._apf.acquire(credential.user)
+            yield self._inflight.acquire()
+            try:
+                yield self.sim.timeout(
+                    self.config.apiserver.request_overhead)
+            except BaseException:
+                self._release(credential)  # span finished below
+                raise
         except BaseException:
-            self._release(credential)
+            self._span_finish(span, error=True)
             raise
-        return credential
+        return credential, span
 
-    def _release(self, credential):
+    def _release(self, credential, span=None):
         self._inflight.release()
         if self._apf is not None:
             self._apf.release(credential.user)
+        self._span_finish(span)
+
+    def _span_start(self, verb):
+        if not self._tracer.enabled:
+            return None
+        return self._tracer.start(f"apiserver.{verb}")
+
+    def _span_finish(self, span, error=False):
+        if span is not None:
+            self._tracer.finish(span, error=error)
 
     def _admit(self, credential, verb, plural, obj, old_obj, namespace):
         request = AdmissionRequest(verb, plural, obj, old_obj=old_obj,
@@ -245,7 +273,7 @@ class APIServer:
     def create(self, credential, obj, namespace=None):
         """Coroutine: persist a new object; returns the stored copy."""
         obj = self._prepare_create(obj, namespace)
-        credential = yield from self._begin(
+        credential, span = yield from self._begin(
             credential, "create", type(obj).PLURAL, obj.metadata.namespace,
             obj.metadata.name)
         try:
@@ -253,13 +281,13 @@ class APIServer:
             yield self.sim.timeout(self.config.apiserver.etcd_write)
             return obj
         finally:
-            self._release(credential)
+            self._release(credential, span)
 
     def get(self, credential, plural, name, namespace=None):
         """Coroutine: fetch one object; raises NotFound."""
         obj_type = self.registry.get(plural)
-        credential = yield from self._begin(credential, "get", plural,
-                                            namespace, name)
+        credential, span = yield from self._begin(credential, "get", plural,
+                                                  namespace, name)
         try:
             key = self._key(obj_type, namespace, name)
             try:
@@ -269,7 +297,7 @@ class APIServer:
             yield self.sim.timeout(self.config.apiserver.etcd_read)
             return self._decode(obj_type, raw, revision)
         finally:
-            self._release(credential)
+            self._release(credential, span)
 
     def list(self, credential, plural, namespace=None, label_selector=None,
              field_selector=None):
@@ -277,8 +305,8 @@ class APIServer:
         from repro.objects.selectors import match_fields
 
         obj_type = self.registry.get(plural)
-        credential = yield from self._begin(credential, "list", plural,
-                                            namespace)
+        credential, span = yield from self._begin(credential, "list",
+                                                  plural, namespace)
         try:
             prefix = self._prefix(obj_type, namespace)
             raw_items, revision = self.store.list_prefix(prefix)
@@ -296,7 +324,7 @@ class APIServer:
                 items.append(obj)
             return items, str(revision)
         finally:
-            self._release(credential)
+            self._release(credential, span)
 
     def update(self, credential, obj, subresource=None):
         """Coroutine: replace an object (CAS on its resourceVersion).
@@ -304,7 +332,7 @@ class APIServer:
         ``subresource="status"`` replaces only the status block, like the
         real ``/status`` subresource used by kubelets and controllers.
         """
-        credential = yield from self._begin(
+        credential, span = yield from self._begin(
             credential, "update", type(obj).PLURAL, obj.metadata.namespace,
             obj.metadata.name)
         try:
@@ -313,7 +341,7 @@ class APIServer:
             yield self.sim.timeout(self.config.apiserver.etcd_write)
             return new_obj
         finally:
-            self._release(credential)
+            self._release(credential, span)
 
     def _update_core(self, credential, obj, subresource=None):
         """CAS-check, admit and store an update (synchronous)."""
@@ -381,14 +409,14 @@ class APIServer:
 
     def delete(self, credential, plural, name, namespace=None):
         """Coroutine: delete an object (honouring finalizers)."""
-        credential = yield from self._begin(credential, "delete", plural,
-                                            namespace, name)
+        credential, span = yield from self._begin(credential, "delete",
+                                                  plural, namespace, name)
         try:
             obj = self._delete_core(credential, plural, name, namespace)
             yield self.sim.timeout(self.config.apiserver.etcd_write)
             return obj
         finally:
-            self._release(credential)
+            self._release(credential, span)
 
     def _delete_core(self, credential, plural, name, namespace=None):
         """Delete or mark-for-finalization (synchronous)."""
@@ -461,15 +489,15 @@ class APIServer:
         if not ops:
             if fencing is None:
                 return []
-            credential = yield from self._begin(credential, "update",
-                                                "leases")
+            credential, span = yield from self._begin(credential, "update",
+                                                      "leases")
             try:
                 self._check_fence(fencing)
                 yield self.sim.timeout(self.config.apiserver.etcd_write)
                 return []
             finally:
-                self._release(credential)
-        credential = yield from self._begin(
+                self._release(credential, span)
+        credential, span = yield from self._begin(
             credential, ops[0][0], self._op_plural(ops[0]))
         try:
             # Per-op chaos checks, so a fault targeting e.g. pod creates
@@ -494,7 +522,7 @@ class APIServer:
                                    + cfg.etcd_txn_per_op * len(ops))
             return results
         finally:
-            self._release(credential)
+            self._release(credential, span)
 
     def _check_fence(self, fencing):
         """Validate a (domain, token) pair against the store's fence

@@ -16,7 +16,13 @@ from dataclasses import replace
 
 from repro.config import DEFAULT_CONFIG
 from repro.core.env import VirtualClusterEnv
-from repro.metrics import format_failover, format_hotpath, format_syncer_health
+from repro.metrics import (
+    format_failover,
+    format_hotpath,
+    format_syncer_health,
+    format_telemetry,
+)
+from repro.telemetry import CORE_FAMILIES
 
 from .engine import ChaosEngine, check_convergence, ha_plan, random_plan
 
@@ -76,6 +82,10 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         if env.syncer_ha is not None:
             print(format_failover(env.syncer_ha))
             print()
+        print(format_telemetry(env.sim.telemetry.snapshot(),
+                               title="Telemetry (core families)",
+                               families=CORE_FAMILIES))
+        print()
     status = "CONVERGED" if converged else "FAILED TO CONVERGE"
     print(f"seed={seed} horizon={horizon:g}s sim_time={env.sim.now:.1f}s "
           f"-> {status}")

@@ -17,6 +17,7 @@ import zlib
 from collections import defaultdict, deque
 
 from repro.simkernel.events import Event
+from repro.telemetry import telemetry_of
 
 from .workqueue import ShutDown
 
@@ -44,17 +45,40 @@ class FairWorkQueue:
         self.deduped_total = 0
         self.wait_time_by_tenant = defaultdict(float)
         self.dispatched_by_tenant = defaultdict(int)
+        telemetry = telemetry_of(sim)
+        self._adds_counter = telemetry.counter(
+            "fairqueue_adds_total", "fair-queue adds (dedup hits included)",
+            labels=("queue",)).labels(queue=name)
+        self._deduped_counter = telemetry.counter(
+            "fairqueue_deduped_total", "adds absorbed by dedup",
+            labels=("queue",)).labels(queue=name)
+        self._dispatch_counter = telemetry.counter(
+            "fairqueue_dispatch_total", "items dispatched per tenant",
+            labels=("queue", "tenant"))
+        self._wait_hist = telemetry.histogram(
+            "fairqueue_wait_seconds", "time queued before dispatch",
+            labels=("queue",)).labels(queue=name)
 
     # ------------------------------------------------------------------
     # Tenant management
     # ------------------------------------------------------------------
 
     def register_tenant(self, tenant, weight=None):
-        """Create the tenant's sub-queue (idempotent)."""
+        """Create the tenant's sub-queue (idempotent).
+
+        ``weight=None`` means the queue default; an explicit weight must
+        be positive — a zero-weight tenant would never be served and a
+        negative one would wedge the WRR credit loop.
+        """
+        if weight is not None and weight <= 0:
+            raise ValueError(
+                f"{self.name}: tenant weight must be positive, "
+                f"got {weight!r} for {tenant!r}")
         if tenant not in self._subqueues:
             self._subqueues[tenant] = deque()
             self._rr_order.append(tenant)
-            self._weights[tenant] = weight or self.default_weight
+            self._weights[tenant] = (weight if weight is not None
+                                     else self.default_weight)
             self._credits[tenant] = self._weights[tenant]
 
     def remove_tenant(self, tenant):
@@ -65,7 +89,14 @@ class FairWorkQueue:
         for item in queue:
             self._dirty.discard((tenant, item))
             self._enqueue_times.pop((tenant, item), None)
-        self._rr_order.remove(tenant)
+        index = self._rr_order.index(tenant)
+        del self._rr_order[index]
+        if index < self._rr_index:
+            # Removing an entry before the cursor shifts every later
+            # tenant left one slot; without pulling the cursor back it
+            # lands one past the tenant whose turn is next, silently
+            # skipping that tenant's WRR turn.
+            self._rr_index -= 1
         self._weights.pop(tenant, None)
         self._credits.pop(tenant, None)
         if self._rr_index >= len(self._rr_order):
@@ -97,8 +128,10 @@ class FairWorkQueue:
         self.register_tenant(tenant)
         item = (tenant, key)
         self.added_total += 1
+        self._adds_counter.inc()
         if item in self._dirty:
             self.deduped_total += 1
+            self._deduped_counter.inc()
             return
         self._dirty.add(item)
         if item in self._processing:
@@ -170,6 +203,8 @@ class FairWorkQueue:
         queued_at = self._enqueue_times.pop(item, self.sim.now)
         self.wait_time_by_tenant[tenant] += self.sim.now - queued_at
         self.dispatched_by_tenant[tenant] += 1
+        self._dispatch_counter.labels(queue=self.name, tenant=tenant).inc()
+        self._wait_hist.observe(self.sim.now - queued_at)
         event.succeed((tenant, key, queued_at))
 
     def _pick(self):
@@ -299,7 +334,12 @@ class ShardedFairWorkQueue:
         return shard
 
     def register_tenant(self, tenant, weight=None):
-        self._tenant_weight[tenant] = weight or self.default_weight
+        if weight is not None and weight <= 0:
+            raise ValueError(
+                f"{self.name}: tenant weight must be positive, "
+                f"got {weight!r} for {tenant!r}")
+        self._tenant_weight[tenant] = (weight if weight is not None
+                                       else self.default_weight)
         self.shard_of(tenant)
 
     def remove_tenant(self, tenant):

@@ -5,6 +5,8 @@ the read-only cache that reconcilers consult instead of hitting the
 apiserver (paper Fig. 3 and Fig. 5).
 """
 
+from repro.telemetry import telemetry_of
+
 from .cache import ObjectCache
 from .reflector import ADDED, DELETED, MODIFIED, Reflector
 
@@ -38,6 +40,9 @@ class SharedInformer:
                                    label_selector=label_selector,
                                    field_selector=field_selector)
         self.events_seen = 0
+        self._events_counter = telemetry_of(sim).counter(
+            "informer_events_total", "watch events seen by informers",
+            labels=("resource",)).labels(resource=plural)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -79,6 +84,7 @@ class SharedInformer:
 
     def on_event(self, kind, obj):
         self.events_seen += 1
+        self._events_counter.inc()
         self._charge()
         if kind == ADDED:
             self.cache.upsert(obj)

@@ -16,6 +16,7 @@ from repro.apiserver.errors import ApiError
 from repro.simkernel.errors import Interrupt
 from repro.simkernel.resources import ChannelClosed
 from repro.storage.errors import RevisionCompacted
+from repro.telemetry import telemetry_of
 
 from .backoff import JitteredBackoff
 
@@ -53,6 +54,13 @@ class Reflector:
         self.has_synced = False
         self.list_count = 0
         self.watch_failures = 0
+        telemetry = telemetry_of(sim)
+        self._lists_counter = telemetry.counter(
+            "reflector_lists_total", "reflector relists",
+            labels=("resource",)).labels(resource=plural)
+        self._watch_failures_counter = telemetry.counter(
+            "reflector_watch_failures_total", "broken/compacted watches",
+            labels=("resource",)).labels(resource=plural)
         self._consecutive_failures = 0
         self._stopped = False
         self._stream = None
@@ -85,6 +93,7 @@ class Reflector:
                         label_selector=self.label_selector,
                         field_selector=self.field_selector)
                     self.list_count += 1
+                    self._lists_counter.inc()
                     self._consecutive_failures = 0
                     self.delegate.on_replace(items)
                     self.has_synced = True
@@ -96,9 +105,11 @@ class Reflector:
                     yield from self._consume(self._stream)
                 except (ChannelClosed, RevisionCompacted):
                     self.watch_failures += 1
+                    self._watch_failures_counter.inc()
                     self._consecutive_failures += 1
                 except ApiError:
                     self.watch_failures += 1
+                    self._watch_failures_counter.inc()
                     self._consecutive_failures += 1
                 finally:
                     # Never leave a dangling stream registered with the

@@ -16,6 +16,7 @@ and :class:`DelayingQueue` supports ``add_after``.
 from collections import deque
 
 from repro.simkernel.events import Event
+from repro.telemetry import telemetry_of
 
 from .backoff import JitteredBackoff
 
@@ -39,6 +40,19 @@ class WorkQueue:
         self.deduped_total = 0
         self._enqueue_times = {}
         self.wait_time_total = 0.0
+        # Registry counters aggregate across same-named queues (one
+        # informer queue per control plane shares a name); the int
+        # attributes above stay the per-instance source of truth.
+        telemetry = telemetry_of(sim)
+        self._adds_counter = telemetry.counter(
+            "workqueue_adds_total", "workqueue adds (dedup hits included)",
+            labels=("queue",)).labels(queue=name)
+        self._deduped_counter = telemetry.counter(
+            "workqueue_deduped_total", "adds absorbed by dedup",
+            labels=("queue",)).labels(queue=name)
+        self._wait_hist = telemetry.histogram(
+            "workqueue_wait_seconds", "time queued before dispatch",
+            labels=("queue",)).labels(queue=name)
 
     def __len__(self):
         return len(self._queue)
@@ -52,8 +66,10 @@ class WorkQueue:
         if self._shutdown:
             return
         self.added_total += 1
+        self._adds_counter.inc()
         if item in self._dirty:
             self.deduped_total += 1
+            self._deduped_counter.inc()
             return
         self._dirty.add(item)
         if item in self._processing:
@@ -87,6 +103,7 @@ class WorkQueue:
         self._processing.add(item)
         queued_at = self._enqueue_times.pop(item, self.sim.now)
         self.wait_time_total += self.sim.now - queued_at
+        self._wait_hist.observe(self.sim.now - queued_at)
         waiter.succeed((item, queued_at))
 
     def get(self):

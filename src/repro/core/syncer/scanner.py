@@ -28,6 +28,10 @@ class PeriodicScanner:
         self.sim = syncer.sim
         self.interval = interval or syncer.config.syncer.scan_interval
         self._processes = {}
+        self._telemetry = syncer._telemetry
+        self._scans_counter = self._telemetry.counter(
+            "syncer_scans_total", "periodic tenant scans completed",
+            labels=("syncer",)).labels(syncer=syncer.name)
         self.scans_completed = 0
         self.mismatches_found = 0
         self.last_scan_duration = 0.0
@@ -82,6 +86,14 @@ class PeriodicScanner:
 
     def scan_tenant(self, tenant):
         """Coroutine: one full scan of a tenant's synchronized objects."""
+        if tenant not in self.syncer.tenants:
+            return 0
+        with self._telemetry.span("syncer.scan", tenant=tenant):
+            mismatches = yield from self._scan_tenant(tenant)
+        self._scans_counter.inc()
+        return mismatches
+
+    def _scan_tenant(self, tenant):
         registration = self.syncer.tenants.get(tenant)
         if registration is None:
             return 0

@@ -30,6 +30,7 @@ from repro.clientgo import (
 from repro.config import DEFAULT_CONFIG
 from repro.objects import Namespace
 from repro.simkernel.errors import Interrupt
+from repro.telemetry import telemetry_of
 
 from ..crd import super_namespace
 from .batch import DownwardBatchWriter
@@ -148,12 +149,25 @@ class Syncer:
         self.super_writer = DownwardBatchWriter(self)
 
         self.tenants = {}
-        self.trace_store = TraceStore()
+        telemetry = telemetry_of(sim)
+        self._telemetry = telemetry
+        self.trace_store = TraceStore(cap=cfg.trace_retention_cap,
+                                      telemetry=telemetry)
         self.vnodes = VNodeManager(self)
         self.crd_sync = CrdSyncManager(self)
         self.scanner = PeriodicScanner(
             self, interval=scan_interval or cfg.scan_interval)
-        self.counters = {}
+        # Bookkeeping counters live in the registry (one family, labeled
+        # by syncer and event); :attr:`counters` renders the historical
+        # dict view from it.
+        self._events_counter = telemetry.counter(
+            "syncer_events_total", "syncer bookkeeping events",
+            labels=("syncer", "event"))
+        items = telemetry.counter(
+            "syncer_items_total", "queue items reconciled",
+            labels=("syncer", "direction"))
+        self._items_dws = items.labels(syncer=name, direction="downward")
+        self._items_uws = items.labels(syncer=name, direction="upward")
         self.health = HealthTracker(self, enabled=circuit_breaker)
         # label -> live worker Process, maintained by the supervisors.
         self.worker_processes = {}
@@ -280,7 +294,15 @@ class Syncer:
         return self.sim.spawn(coroutine, name=name)
 
     def metrics_inc(self, counter):
-        self.counters[counter] = self.counters.get(counter, 0) + 1
+        self._events_counter.labels(syncer=self.name, event=counter).inc()
+
+    @property
+    def counters(self):
+        """Historical dict view of this syncer's bookkeeping events,
+        rendered from the ``syncer_events_total`` registry family."""
+        return {values[1]: int(child.value)
+                for values, child in self._events_counter.children()
+                if values[0] == self.name}
 
     def current_fence(self):
         """The (domain, token) stamp for downward writes, or None when
@@ -682,26 +704,32 @@ class Syncer:
                 self.downward.done(tenant, item)
                 continue
             try:
-                # Serialized dequeue critical section (lock contention is
-                # the syncer's throughput limiter under burst); one lock
-                # per dispatch shard.
-                yield dws_lock.acquire()
-                try:
-                    yield self.sim.timeout(cfg.dws_dequeue_cs)
-                finally:
-                    dws_lock.release()
-                self.cpu.charge(cfg.dws_dequeue_cs, activity="dws-dequeue")
-                self.cpu.charge(cfg.per_item_cpu_overhead, activity="serde")
-                if plural == "pods":
-                    self.trace_store.mark(tenant, key, "dws_dequeue",
-                                          self.sim.now)
-                yield self.sim.timeout(cfg.dws_process)
-                self.cpu.charge(cfg.dws_process, activity="dws-process")
-                reconciler = (self.crd_sync.reconciler_for(tenant, plural)
-                              or self.downward_reconcilers.get(plural))
-                if reconciler is not None:
-                    yield from reconciler.sync_down(tenant, key)
-                self.health.record_success(tenant)
+                with self._telemetry.span("syncer.dws", tenant=tenant,
+                                          resource=plural):
+                    # Serialized dequeue critical section (lock contention
+                    # is the syncer's throughput limiter under burst); one
+                    # lock per dispatch shard.
+                    yield dws_lock.acquire()
+                    try:
+                        yield self.sim.timeout(cfg.dws_dequeue_cs)
+                    finally:
+                        dws_lock.release()
+                    self.cpu.charge(cfg.dws_dequeue_cs,
+                                    activity="dws-dequeue")
+                    self.cpu.charge(cfg.per_item_cpu_overhead,
+                                    activity="serde")
+                    if plural == "pods":
+                        self.trace_store.mark(tenant, key, "dws_dequeue",
+                                              self.sim.now)
+                    yield self.sim.timeout(cfg.dws_process)
+                    self.cpu.charge(cfg.dws_process, activity="dws-process")
+                    reconciler = (self.crd_sync.reconciler_for(tenant,
+                                                               plural)
+                                  or self.downward_reconcilers.get(plural))
+                    if reconciler is not None:
+                        yield from reconciler.sync_down(tenant, key)
+                    self.health.record_success(tenant)
+                    self._items_dws.inc()
             except Interrupt:
                 return
             except ApiError as exc:
@@ -728,28 +756,36 @@ class Syncer:
                 self.upward.done(tenant, item)
                 continue
             try:
-                yield uws_lock.acquire()
-                try:
-                    yield self.sim.timeout(cfg.uws_dequeue_cs)
-                finally:
-                    uws_lock.release()
-                self.cpu.charge(cfg.uws_dequeue_cs, activity="uws-dequeue")
-                self.cpu.charge(cfg.per_item_cpu_overhead, activity="serde")
-                if plural == "pods":
-                    super_pod = self.super_informer("pods").cache.get(key)
-                    if super_pod is not None:
-                        origin = tenant_origin(super_pod)
-                        if origin is not None and super_pod.status.is_ready:
-                            t_key = (f"{origin[1]}/{origin[2]}"
-                                     if origin[1] else origin[2])
-                            self.trace_store.mark(tenant, t_key,
-                                                  "uws_dequeue", self.sim.now)
-                yield self.sim.timeout(cfg.uws_process)
-                self.cpu.charge(cfg.uws_process, activity="uws-process")
-                reconciler = self.upward_reconcilers.get(plural)
-                if reconciler is not None:
-                    yield from reconciler.sync_up(tenant, key)
-                self.health.record_success(tenant)
+                with self._telemetry.span("syncer.uws", tenant=tenant,
+                                          resource=plural):
+                    yield uws_lock.acquire()
+                    try:
+                        yield self.sim.timeout(cfg.uws_dequeue_cs)
+                    finally:
+                        uws_lock.release()
+                    self.cpu.charge(cfg.uws_dequeue_cs,
+                                    activity="uws-dequeue")
+                    self.cpu.charge(cfg.per_item_cpu_overhead,
+                                    activity="serde")
+                    if plural == "pods":
+                        super_pod = self.super_informer("pods").cache.get(
+                            key)
+                        if super_pod is not None:
+                            origin = tenant_origin(super_pod)
+                            if (origin is not None
+                                    and super_pod.status.is_ready):
+                                t_key = (f"{origin[1]}/{origin[2]}"
+                                         if origin[1] else origin[2])
+                                self.trace_store.mark(tenant, t_key,
+                                                      "uws_dequeue",
+                                                      self.sim.now)
+                    yield self.sim.timeout(cfg.uws_process)
+                    self.cpu.charge(cfg.uws_process, activity="uws-process")
+                    reconciler = self.upward_reconcilers.get(plural)
+                    if reconciler is not None:
+                        yield from reconciler.sync_up(tenant, key)
+                    self.health.record_success(tenant)
+                    self._items_uws.inc()
             except Interrupt:
                 return
             except ApiError as exc:

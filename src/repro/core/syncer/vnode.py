@@ -31,6 +31,9 @@ class VNodeManager:
         self._created = set()
         self._heartbeat_process = None
         self.heartbeats_sent = 0
+        self._heartbeats_counter = syncer._telemetry.counter(
+            "vnode_heartbeats_total", "vNode heartbeat status writes",
+            labels=("syncer",)).labels(syncer=syncer.name)
 
     # ------------------------------------------------------------------
     # Binding bookkeeping (called from the upward pod reconciler)
@@ -229,5 +232,6 @@ class VNodeManager:
                     try:
                         yield from registration.client.update_status(vnode)
                         self.heartbeats_sent += 1
+                        self._heartbeats_counter.inc()
                     except ApiError:
                         continue

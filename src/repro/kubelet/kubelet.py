@@ -14,6 +14,7 @@ guest (paper §III-B(4)).
 
 from repro.apiserver.errors import ApiError, Conflict, NotFound
 from repro.simkernel.errors import Interrupt
+from repro.telemetry import telemetry_of
 
 
 class Kubelet:
@@ -49,6 +50,11 @@ class Kubelet:
         self._heartbeat_process = None
         self.pods_started = 0
         self.pods_stopped = 0
+        telemetry = telemetry_of(sim)
+        self._telemetry = telemetry
+        self._started_counter = telemetry.counter(
+            "kubelet_pods_started_total", "pods brought to Running",
+            labels=("kind",)).labels(kind="node")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -154,6 +160,11 @@ class Kubelet:
         pod = self.pod_informer.cache.get_copy(pod_key)
         if pod is None or pod.is_terminal or pod_key in self._sandboxes:
             return
+        with self._telemetry.span("kubelet.start_pod",
+                                  node=self.node_name):
+            yield from self._run_pod(pod, pod_key)
+
+    def _run_pod(self, pod, pod_key):
         runtime = self._runtime_for(pod)
 
         for container in pod.spec.containers + pod.spec.init_containers:
@@ -191,6 +202,7 @@ class Kubelet:
                                 f"Started container {spec.name}")
 
         self.pods_started += 1
+        self._started_counter.inc()
         yield from self._post_status(
             pod_key, phase="Running", pod_ip=sandbox.ip,
             container_names=[c.name for c in pod.spec.containers],

@@ -8,6 +8,7 @@ from .reporting import (
     format_phase_breakdown,
     format_syncer_health,
     format_table,
+    format_telemetry,
     pods_per_node,
     summarize,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "format_phase_breakdown",
     "format_syncer_health",
     "format_table",
+    "format_telemetry",
     "pods_per_node",
     "summarize",
 ]

@@ -154,6 +154,54 @@ def pods_per_node(syncer):
             for node in syncer.super_informer("nodes").cache.keys()}
 
 
+def format_telemetry(snapshot, title="Telemetry", families=None,
+                     max_series=8):
+    """Render a registry snapshot (``Telemetry.snapshot()``) compactly.
+
+    One row per series: counters/gauges show their value, histograms
+    their count / mean / p99.  ``families`` restricts the listing (e.g.
+    the chaos report shows only the core families); per family at most
+    ``max_series`` series print, the rest collapse into a ``(+N more)``
+    row with the family total so big label spaces stay readable.
+    """
+    wanted = set(families) if families is not None else None
+    rows = []
+    for family in snapshot.get("families", ()):
+        if wanted is not None and family["name"] not in wanted:
+            continue
+        series = family["series"]
+        for entry in series[:max_series]:
+            labelset = ",".join(f"{k}={v}"
+                                for k, v in sorted(entry["labels"].items()))
+            name = family["name"] + (f"{{{labelset}}}" if labelset else "")
+            if family["kind"] == "histogram":
+                count = entry["count"]
+                mean = entry["sum"] / count if count else 0.0
+                rows.append([name, f"n={count} mean={mean:.4f}s"])
+            else:
+                rows.append([name, entry["value"]])
+        if len(series) > max_series:
+            if family["kind"] == "histogram":
+                total = sum(entry["count"] for entry in series)
+            else:
+                total = sum(entry["value"] for entry in series)
+            rows.append([f"{family['name']} (+{len(series) - max_series} "
+                         f"more)", f"total={total}"])
+    if not rows:
+        rows = [["(no metrics)", "-"]]
+    lines = [format_table(["series", "value"], rows, title=title)]
+    spans = snapshot.get("spans") or {}
+    if spans:
+        span_rows = [
+            [name, agg["count"], agg["errors"], agg["mean_seconds"]]
+            for name, agg in spans.items()
+        ]
+        lines.append(format_table(
+            ["span", "count", "errors", "mean (s)"], span_rows,
+            title="Span aggregates"))
+    return "\n".join(lines)
+
+
 def format_hotpath(syncer, title="Syncer hot path"):
     """Render the DESIGN.md §9 hot-path counters: dispatch sharding,
     downward write batching, and per-node placement from the pod index."""

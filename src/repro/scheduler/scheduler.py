@@ -13,6 +13,7 @@ from repro.apiserver.errors import ApiError, Conflict, NotFound
 from repro.clientgo import WorkQueue
 from repro.objects import Quantity, add_resource_lists
 from repro.simkernel.errors import Interrupt
+from repro.telemetry import telemetry_of
 
 from .plugins import ClusterSnapshot, default_filters, default_scorers
 
@@ -51,6 +52,23 @@ class Scheduler:
         self.schedule_latency_total = 0.0
         self._stopped = False
         self._workers = []
+        telemetry = telemetry_of(sim)
+        self._telemetry = telemetry
+        self._binds_counter = telemetry.counter(
+            "scheduler_binds_total", "successful pod bindings",
+            labels=("scheduler",)).labels(scheduler=name)
+        self._bind_failures_counter = telemetry.counter(
+            "scheduler_bind_failures_total",
+            "bind writes rejected by the apiserver",
+            labels=("scheduler",)).labels(scheduler=name)
+        self._unschedulable_counter = telemetry.counter(
+            "scheduler_unschedulable_total",
+            "scheduling attempts with no feasible node",
+            labels=("scheduler",)).labels(scheduler=name)
+        self._latency_hist = telemetry.histogram(
+            "scheduler_e2e_seconds",
+            "queue add -> successful bind latency",
+            labels=("scheduler",)).labels(scheduler=name)
 
         self._pod_informer.add_handlers(
             on_add=self._on_pod_add,
@@ -152,6 +170,7 @@ class Scheduler:
         chosen, reasons = self._select_node(pod, snapshot)
         if chosen is None:
             self.failed_count += 1
+            self._unschedulable_counter.inc()
             yield from self._record_failure(pod, reasons)
             return
         # Assume the pod onto the node and bind asynchronously, like the
@@ -165,18 +184,23 @@ class Scheduler:
             name=f"bind-{pod_key}")
 
     def _bind_async(self, pod, node_name, pod_key, enqueued_at):
-        try:
-            yield from self.client.bind_pod(pod.name, pod.namespace,
-                                            node_name)
-        except (Conflict, NotFound):
-            self._untrack_assignment(pod_key)
-            return
-        except ApiError:
-            self._untrack_assignment(pod_key)
-            self.queue.add(pod_key)
-            return
+        with self._telemetry.span("scheduler.bind", node=node_name):
+            try:
+                yield from self.client.bind_pod(pod.name, pod.namespace,
+                                                node_name)
+            except (Conflict, NotFound):
+                self._bind_failures_counter.inc()
+                self._untrack_assignment(pod_key)
+                return
+            except ApiError:
+                self._bind_failures_counter.inc()
+                self._untrack_assignment(pod_key)
+                self.queue.add(pod_key)
+                return
         self.scheduled_count += 1
+        self._binds_counter.inc()
         self.schedule_latency_total += self.sim.now - enqueued_at
+        self._latency_hist.observe(self.sim.now - enqueued_at)
 
     def _select_node(self, pod, snapshot):
         feasible = []

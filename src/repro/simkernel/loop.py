@@ -38,6 +38,11 @@ class Simulation:
         self._process_count = 0
         self.metrics = MetricsRegistry(self)
         self.accounting = Accounting(self)
+        # Unified telemetry hub (repro.telemetry imports nothing from
+        # repro.*, so this is cycle-free).
+        from repro.telemetry import Telemetry
+
+        self.telemetry = Telemetry(self)
 
     # ------------------------------------------------------------------
     # Clock & scheduling

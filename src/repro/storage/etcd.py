@@ -16,6 +16,7 @@ callers can never alias stored state.
 """
 
 from repro.objects.base import fast_deep_copy
+from repro.telemetry import telemetry_of
 
 from .errors import (
     FencingRevoked,
@@ -114,6 +115,21 @@ class EtcdStore:
         self.txns = 0
         self.txn_ops = 0
         self.largest_txn = 0
+        telemetry = telemetry_of(sim)
+        self._tracer = telemetry.tracer
+        ops = telemetry.counter("etcd_ops_total",
+                                "etcd operations by type",
+                                labels=("store", "op"))
+        # Pre-bound children so the hot path pays one float add per op.
+        self._ops_write = ops.labels(store=name, op="write")
+        self._ops_read = ops.labels(store=name, op="read")
+        self._ops_txn = ops.labels(store=name, op="txn")
+        telemetry.gauge("etcd_keys", "live keys per store",
+                        labels=("store",)).labels(
+            store=name).set_function(lambda: len(self._data))
+        telemetry.gauge("etcd_revision", "store revision",
+                        labels=("store",)).labels(
+            store=name).set_function(lambda: self._revision)
 
     @staticmethod
     def _bucket_of(key):
@@ -144,6 +160,7 @@ class EtcdStore:
         """Insert a new key; fails if present. Returns the new revision."""
         if key in self._data:
             raise KeyAlreadyExists(key)
+        self._ops_write.inc()
         self._revision += 1
         stored = StoredValue(fast_deep_copy(value), self._revision,
                              self._revision, 1)
@@ -158,6 +175,7 @@ class EtcdStore:
         stored = self._data.get(key)
         if stored is None:
             raise KeyNotFound(key)
+        self._ops_read.inc()
         return fast_deep_copy(stored.value), stored.mod_revision
 
     def try_get(self, key):
@@ -176,6 +194,7 @@ class EtcdStore:
                 and stored.mod_revision != expected_revision):
             raise RevisionConflict(key, expected_revision,
                                    stored.mod_revision)
+        self._ops_write.inc()
         self._revision += 1
         prev = stored.value
         stored.value = fast_deep_copy(value)
@@ -194,6 +213,7 @@ class EtcdStore:
                 and stored.mod_revision != expected_revision):
             raise RevisionConflict(key, expected_revision,
                                    stored.mod_revision)
+        self._ops_write.inc()
         self._revision += 1
         del self._data[key]
         self._index_remove(key)
@@ -215,12 +235,14 @@ class EtcdStore:
         self.txns += 1
         self.txn_ops += len(ops)
         self.largest_txn = max(self.largest_txn, len(ops))
+        self._ops_txn.inc()
         results = []
-        for op in ops:
-            try:
-                results.append(op())
-            except Exception as exc:  # noqa: BLE001 - captured per op
-                results.append(exc)
+        with self._tracer.span("etcd.txn", ops=len(ops)):
+            for op in ops:
+                try:
+                    results.append(op())
+                except Exception as exc:  # noqa: BLE001 - captured per op
+                    results.append(exc)
         return results
 
     def list_prefix(self, prefix):
@@ -229,6 +251,7 @@ class EtcdStore:
         Returns ``(items, revision)`` — the revision is the store revision
         at list time, which list+watch reflectors use as their start point.
         """
+        self._ops_read.inc()
         items = []
         for key in self._keys_under(prefix):
             stored = self._data[key]

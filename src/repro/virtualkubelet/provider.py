@@ -15,6 +15,7 @@ cannot preserve full node semantics the way VirtualCluster's vNodes do.
 from repro.apiserver.errors import ApiError, Conflict, NotFound
 from repro.objects import make_node
 from repro.simkernel.errors import Interrupt
+from repro.telemetry import telemetry_of
 
 
 class PodProvider:
@@ -105,6 +106,11 @@ class VirtualKubelet:
         self._stopped = False
         self._heartbeat_process = None
         self.pods_acked = 0
+        # Same family as the real kubelet, distinguished by kind, so a
+        # mixed fleet reports Running pods under one metric name.
+        self._started_counter = telemetry_of(sim).counter(
+            "kubelet_pods_started_total", "pods brought to Running",
+            labels=("kind",)).labels(kind="virtual")
 
     def start(self):
         """Coroutine: register the node, start the watch + heartbeat."""
@@ -164,6 +170,7 @@ class VirtualKubelet:
             try:
                 yield from self.client.update_status(pod)
                 self.pods_acked += 1
+                self._started_counter.inc()
                 return
             except (Conflict, NotFound):
                 return  # informer will deliver a fresh view / deletion

@@ -34,6 +34,9 @@ class StressResult:
     wall_end: float = 0.0
     per_tenant_mean: dict = None
     syncer_stats: dict = None
+    # Full registry + span-aggregate export (Telemetry.snapshot()), taken
+    # at the end of the run.
+    telemetry: dict = None
 
     @property
     def mean(self):
@@ -101,7 +104,7 @@ def run_vc_stress(num_pods, num_tenants, dws_workers=20, uws_workers=100,
     env.run_coroutine(generator.run_all(jobs), name="loadgen")
 
     def all_done():
-        return len(env.syncer.trace_store.completed()) >= num_pods
+        return env.syncer.trace_store.completed_count >= num_pods
 
     env.run_until(all_done, timeout=timeout)
     end = env.sim.now
@@ -122,6 +125,7 @@ def run_vc_stress(num_pods, num_tenants, dws_workers=20, uws_workers=100,
         wall_end=end,
         per_tenant_mean=traces.mean_creation_time_by_tenant(),
         syncer_stats=env.syncer.stats(),
+        telemetry=env.sim.telemetry.snapshot(),
     )
     if keep_env:
         result.env = env
@@ -197,6 +201,7 @@ def run_baseline_stress(num_pods, num_threads, submission_rate=1000.0,
         throughput=num_pods / (end - start) if end > start else 0.0,
         wall_start=start,
         wall_end=end,
+        telemetry=env.sim.telemetry.snapshot(),
     )
 
 
@@ -235,7 +240,7 @@ def run_fairness_stress(num_greedy=10, num_regular=40, greedy_pods=900,
     start = env.sim.now
     env.run_coroutine(generator.run_all(jobs), name="fairness-loadgen")
     env.run_until(
-        lambda: len(env.syncer.trace_store.completed()) >= total,
+        lambda: env.syncer.trace_store.completed_count >= total,
         timeout=timeout, poll=0.5)
     end = env.sim.now
 
@@ -250,6 +255,7 @@ def run_fairness_stress(num_greedy=10, num_regular=40, greedy_pods=900,
         throughput=total / (end - start) if end > start else 0.0,
         per_tenant_mean=per_tenant,
         syncer_stats=env.syncer.stats(),
+        telemetry=env.sim.telemetry.snapshot(),
     )
     result.greedy_means = {key: value for key, value in per_tenant.items()
                            if key in greedy_keys}

@@ -1,0 +1,93 @@
+"""Property-based tests for telemetry invariants.
+
+The registry's correctness arguments: a label set identifies exactly one
+child regardless of keyword order, histogram cumulative bucket counts
+are monotone with the total in the +Inf bucket, counters never decrease,
+and snapshots are a pure function of the recorded events (same events →
+byte-identical JSON export).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.export import render_json
+
+label_values = st.sampled_from(["a", "b", "c", "d"])
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=60)
+
+
+@given(st.lists(st.tuples(label_values, label_values),
+                min_size=1, max_size=40))
+@settings(max_examples=200)
+def test_label_set_identity(pairs):
+    """Equal label values resolve to the same child; distinct values to
+    distinct children — inc-ing through any alias sums correctly."""
+    registry = MetricsRegistry()
+    family = registry.counter("c_total", labels=("x", "y"))
+    for x, y in pairs:
+        # Keyword order must not matter.
+        assert family.labels(x=x, y=y) is family.labels(y=y, x=x)
+        family.labels(x=x, y=y).inc()
+    assert family.total() == len(pairs)
+    assert len(family.children()) == len(set(pairs))
+    for (x, y), count in _counts(pairs).items():
+        assert family.labels(x=x, y=y).value == count
+
+
+def _counts(pairs):
+    out = {}
+    for pair in pairs:
+        out[pair] = out.get(pair, 0) + 1
+    return out
+
+
+@given(observations)
+@settings(max_examples=200)
+def test_histogram_buckets_monotone_and_complete(values):
+    registry = MetricsRegistry()
+    hist = registry.histogram("h_seconds")._solo()
+    for value in values:
+        hist.observe(value)
+    cumulative = hist.cumulative()
+    assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+    assert cumulative[-1] == len(values)  # +Inf holds every observation
+    assert hist.count == len(values)
+    assert abs(hist.sum - sum(values)) < 1e-6
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=0, max_size=60))
+@settings(max_examples=200)
+def test_counter_never_decreases(increments):
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total")._solo()
+    last = 0.0
+    for amount in increments:
+        counter.inc(amount)
+        assert counter.value >= last
+        last = counter.value
+
+
+@given(st.lists(st.tuples(label_values, st.integers(min_value=1,
+                                                    max_value=5)),
+                min_size=0, max_size=30))
+@settings(max_examples=100)
+def test_snapshot_is_pure_function_of_events(events):
+    """Replaying the same event sequence into two registries yields
+    byte-identical JSON exports."""
+
+    def build():
+        registry = MetricsRegistry(clock=lambda: 7.0)
+        counter = registry.counter("ops_total", labels=("op",))
+        hist = registry.histogram("dur_seconds", labels=("op",))
+        for op, amount in events:
+            counter.labels(op=op).inc(amount)
+            hist.labels(op=op).observe(float(amount))
+        return render_json(registry.snapshot())
+
+    assert build() == build()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.clientgo import FairWorkQueue, ShutDown
+from repro.clientgo import FairWorkQueue, ShardedFairWorkQueue, ShutDown
 from repro.simkernel import Simulation
 
 
@@ -155,6 +155,30 @@ class TestLifecycle:
         assert len(queue) == 1
         assert drain_all(sim, queue, 1) == [("B", "b0")]
 
+    def test_remove_before_cursor_preserves_rotation(self, sim):
+        """Regression: removing a tenant that sits *before* the WRR
+        cursor must pull the cursor back one slot, or the tenant whose
+        turn is next silently loses it."""
+        queue = FairWorkQueue(sim)
+        for tenant in ("A", "B", "C"):
+            for i in range(2):
+                queue.add(tenant, f"{tenant.lower()}{i}")
+        # Serve exactly one item (A's), advancing the cursor past A.
+        assert drain_all(sim, queue, 1) == [("A", "a0")]
+        queue.remove_tenant("A")
+        # B's turn is next; the old code left the cursor pointing at C.
+        assert drain_all(sim, queue, 4) == [
+            ("B", "b0"), ("C", "c0"), ("B", "b1"), ("C", "c1")]
+
+    def test_remove_at_cursor_serves_next_tenant(self, sim):
+        queue = FairWorkQueue(sim)
+        for tenant in ("A", "B", "C"):
+            queue.add(tenant, f"{tenant.lower()}0")
+        # Cursor still on A (nothing served); removing A hands the turn
+        # to B without skipping anyone.
+        queue.remove_tenant("A")
+        assert drain_all(sim, queue, 2) == [("B", "b0"), ("C", "c0")]
+
     def test_wait_time_by_tenant_tracked(self, sim):
         queue = FairWorkQueue(sim)
 
@@ -179,3 +203,42 @@ class TestLifecycle:
         stats = queue.stats()
         assert stats["depth"] == 1
         assert stats["tenants"] == 1
+
+
+class TestWeightValidation:
+    """Regression: ``weight=0`` used to be silently coerced to the
+    default weight (``weight or default``); non-positive weights are now
+    rejected instead of either starving the tenant or masking the bug."""
+
+    def test_zero_weight_rejected(self, sim):
+        queue = FairWorkQueue(sim)
+        with pytest.raises(ValueError, match="must be positive"):
+            queue.register_tenant("T", weight=0)
+        assert "T" not in queue.tenants
+
+    def test_negative_weight_rejected(self, sim):
+        queue = FairWorkQueue(sim)
+        with pytest.raises(ValueError, match="must be positive"):
+            queue.register_tenant("T", weight=-3)
+
+    def test_explicit_weight_not_coerced(self, sim):
+        queue = FairWorkQueue(sim, default_weight=4)
+        queue.register_tenant("T", weight=2)
+        assert queue._weights["T"] == 2
+
+    def test_none_weight_uses_default(self, sim):
+        queue = FairWorkQueue(sim, default_weight=4)
+        queue.register_tenant("T")
+        assert queue._weights["T"] == 4
+
+    def test_sharded_zero_weight_rejected(self, sim):
+        queue = ShardedFairWorkQueue(sim, shards=2)
+        with pytest.raises(ValueError, match="must be positive"):
+            queue.register_tenant("T", weight=0)
+        assert "T" not in queue.tenants
+
+    def test_sharded_explicit_weight_propagates(self, sim):
+        queue = ShardedFairWorkQueue(sim, shards=2, default_weight=4)
+        queue.register_tenant("T", weight=2)
+        shard = queue.shards[queue.shard_of("T")]
+        assert shard._weights["T"] == 2

@@ -193,6 +193,88 @@ class TestTracing:
         assert means["b"] == pytest.approx(10.0)
 
 
+class TestTraceRetention:
+    """Bounded TraceStore retention: ``len(store)`` stays under the cap
+    during a long soak while every aggregate stays exact."""
+
+    @staticmethod
+    def _complete(store, tenant, key, created, total=5.0):
+        store.begin(tenant, key, created=created)
+        store.mark(tenant, key, "dws_dequeue", created + 1.0)
+        store.mark(tenant, key, "dws_done", created + 2.0)
+        store.mark(tenant, key, "super_ready", created + 3.0)
+        store.mark(tenant, key, "uws_dequeue", created + 4.0)
+        store.mark(tenant, key, "uws_done", created + total)
+
+    def test_soak_stays_under_cap_with_exact_percentiles(self):
+        cap = 100
+        capped = TraceStore(cap=cap)
+        exact = TraceStore()  # uncapped reference
+        total_pods = 5000
+        for i in range(total_pods):
+            total = 5.0 + (i % 97)
+            self._complete(capped, f"t{i % 7}", f"ns/p{i}",
+                           created=float(i), total=total)
+            self._complete(exact, f"t{i % 7}", f"ns/p{i}",
+                           created=float(i), total=total)
+            assert len(capped) <= cap
+        assert capped.completed_count == total_pods
+        # The whole distribution — hence every percentile — is identical
+        # to the uncapped store's, despite 98% of traces being evicted.
+        assert sorted(capped.creation_times()) == \
+            sorted(exact.creation_times())
+        assert capped.mean_phase_breakdown() == \
+            exact.mean_phase_breakdown()
+        assert capped.mean_creation_time_by_tenant() == \
+            exact.mean_creation_time_by_tenant()
+        assert capped.phase_bucket_counts() == exact.phase_bucket_counts()
+
+    def test_incomplete_traces_never_evicted(self):
+        store = TraceStore(cap=10)
+        for i in range(10):
+            store.begin("t", f"ns/live{i}", created=0.0)
+        for i in range(50):
+            self._complete(store, "t", f"ns/done{i}", created=0.0)
+        for i in range(10):
+            assert store.get("t", f"ns/live{i}") is not None
+        assert store.completed_count == 50
+
+    def test_evicted_key_cannot_be_retraced(self):
+        store = TraceStore(cap=2)
+        for i in range(5):
+            self._complete(store, "t", f"ns/p{i}", created=0.0)
+        # p0 was evicted; a replayed informer add must not restart its
+        # trace and double-count the pod.
+        assert store.begin("t", "ns/p0", created=99.0) is None
+        store.mark("t", "ns/p0", "dws_dequeue", 100.0)  # no-op
+        assert store.completed_count == 5
+
+    def test_uncapped_keeps_everything(self):
+        store = TraceStore()
+        for i in range(20):
+            self._complete(store, "t", f"ns/p{i}", created=0.0)
+        assert len(store) == 20
+        assert store.completed_count == 20
+
+    def test_telemetry_histograms_observe_completions(self):
+        from repro.telemetry import Telemetry
+
+        class _StubSim:
+            now = 0.0
+            active_process = None
+
+        telemetry = Telemetry(_StubSim())
+        store = TraceStore(cap=4, telemetry=telemetry)
+        for i in range(12):
+            self._complete(store, "acme", f"ns/p{i}", created=0.0)
+        family = telemetry.registry.get("pod_creation_seconds")
+        child = family.labels(tenant="acme")
+        assert child.count == 12
+        assert child.sum == pytest.approx(12 * 5.0)
+        phases = telemetry.registry.get("pod_phase_seconds")
+        assert sum(c.count for _v, c in phases.children()) == 12 * 5
+
+
 class TestVcObject:
     def test_make_virtual_cluster(self):
         vc = make_virtual_cluster("acme", weight=5, mode="cloud")
