@@ -5,6 +5,7 @@
 # Usage:  scripts/tier1.sh [extra pytest args...]
 #         scripts/tier1.sh --chaos-smoke [seed]
 #         scripts/tier1.sh --telemetry-smoke [seed]
+#         scripts/tier1.sh --lint
 #
 # Runs the tier1-marked tests (every test except the long soak runs)
 # exactly as the CI gate does.  The coverage floor is enforced only
@@ -24,6 +25,11 @@
 # telemetry snapshot as JSON, asserting it parses and that every core
 # metric family (apiserver, etcd, workqueue, informer, syncer,
 # scheduler, kubelet, spans) is present with recorded activity.
+#
+# --lint runs the determinism linter (repro.analysis) over src/ in
+# strict mode against the committed allowlist, then the lint-marked
+# CLI smoke tests.  Exit 0 means zero non-allowlisted findings and no
+# stale suppressions or allowlist entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +54,17 @@ if [[ "${1:-}" == "--telemetry-smoke" ]]; then
         --nodes 6 --format json --output "$out" --check
     python -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
     echo "tier1: telemetry smoke OK (JSON parses, core families active)" >&2
+    exit 0
+fi
+
+if [[ "${1:-}" == "--lint" ]]; then
+    echo "tier1: determinism lint (strict) over src/" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.analysis lint src --strict \
+        --allowlist analysis-allowlist.txt
+    echo "tier1: lint-marked CLI smoke tests" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -x -q -m lint
     exit 0
 fi
 

@@ -1,0 +1,39 @@
+"""Determinism & isolation analysis suite (DESIGN.md §12).
+
+Three tools that mechanically check the invariants every reproduction
+claim in this repo rests on — byte-identical converged etcd state,
+base-seed chaos determinism, exact telemetry aggregates:
+
+- :mod:`repro.analysis.linter` — an AST pass over the source tree with
+  determinism rules D001–D006 (wall-clock use, unseeded randomness,
+  unordered-set iteration, identity-based ordering, float priority
+  accumulation, non-canonical hash inputs);
+- :mod:`repro.analysis.racedetect` — an opt-in vector-clock race
+  detector for sim processes, flagging shared-state accesses on
+  :class:`~repro.storage.etcd.EtcdStore` and
+  :class:`~repro.clientgo.cache.ObjectCache` that are not ordered by a
+  kernel happens-before edge;
+- :mod:`repro.analysis.bisect` — a replay-divergence bisector that runs
+  the same seed twice with per-write state digests and binary-searches
+  to the first divergent store event, with component attribution.
+
+CLI: ``python -m repro.analysis {lint,race,bisect,rules}``.
+"""
+
+from .bisect import Divergence, ReplayRecorder, first_divergence
+from .linter import LintResult, lint_paths, load_allowlist
+from .racedetect import RaceConflict, RaceDetector
+from .rules import RULES, Finding
+
+__all__ = [
+    "Divergence",
+    "Finding",
+    "LintResult",
+    "RULES",
+    "RaceConflict",
+    "RaceDetector",
+    "ReplayRecorder",
+    "first_divergence",
+    "lint_paths",
+    "load_allowlist",
+]

@@ -1,0 +1,125 @@
+"""CLI for the analysis suite.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis lint src/ [--strict]
+    PYTHONPATH=src python -m repro.analysis race --seed 0
+    PYTHONPATH=src python -m repro.analysis bisect --seed 0 [--perturb K]
+    PYTHONPATH=src python -m repro.analysis rules
+
+Exit codes: 0 clean; 1 usage/internal error; 2 findings (active lint
+findings, race conflicts, or a localized replay divergence).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bisect import bisect_seed
+from .linter import format_report, lint_paths, load_allowlist
+from .racedetect import run_under_detector
+from .rules import format_rule_catalog
+
+DEFAULT_ALLOWLIST = "analysis-allowlist.txt"
+
+
+def _cmd_lint(args):
+    allowlist = ()
+    allowlist_path = args.allowlist
+    if allowlist_path is None and Path(DEFAULT_ALLOWLIST).is_file():
+        allowlist_path = DEFAULT_ALLOWLIST
+    if allowlist_path is not None:
+        try:
+            allowlist = load_allowlist(allowlist_path)
+        except (OSError, ValueError) as exc:
+            print(f"lint: bad allowlist: {exc}", file=sys.stderr)
+            return 1
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    result = lint_paths(args.paths, allowlist=allowlist, strict=args.strict)
+    print(format_report(result, verbose=args.verbose))
+    return 0 if result.ok else 2
+
+
+def _cmd_race(args):
+    detector = run_under_detector(
+        args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
+        nodes=args.nodes, horizon=args.horizon,
+        track_reads=args.track_reads)
+    print(detector.report())
+    return 0 if detector.ok else 2
+
+
+def _cmd_bisect(args):
+    divergence, run_a, run_b = bisect_seed(
+        args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
+        nodes=args.nodes, horizon=args.horizon, perturb=args.perturb)
+    if divergence is None:
+        print(f"seed {args.seed}: replay deterministic — "
+              f"{len(run_a.digests)} store events, final digest "
+              f"{run_a.final_digest[:16]}… identical across runs")
+        return 0
+    print(f"seed {args.seed}: replay DIVERGED")
+    print(divergence.format())
+    return 2
+
+
+def _cmd_rules(_args):
+    print(format_rule_catalog())
+    return 0
+
+
+def _add_run_args(parser):
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--pods", type=int, default=3,
+                        help="pods per tenant")
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--horizon", type=float, default=30.0)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="determinism & isolation analysis suite")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the determinism linter")
+    lint.add_argument("paths", nargs="+", help="files or trees to lint")
+    lint.add_argument("--allowlist", default=None,
+                      help=f"allowlist file (default: {DEFAULT_ALLOWLIST} "
+                           f"in the current directory, when present)")
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail stale suppressions/allowlist entries")
+    lint.add_argument("--verbose", action="store_true",
+                      help="print suppressed and allowlisted findings too")
+    lint.set_defaults(func=_cmd_lint)
+
+    race = sub.add_parser("race",
+                          help="run a deployment under the race detector")
+    _add_run_args(race)
+    race.add_argument("--track-reads", action="store_true",
+                      help="also flag read-write conflicts (diagnostic; "
+                           "level-triggered reads make this noisy)")
+    race.set_defaults(func=_cmd_race)
+
+    bisect = sub.add_parser(
+        "bisect", help="run a seed twice and localize the first divergence")
+    _add_run_args(bisect)
+    bisect.add_argument("--perturb", type=int, default=None,
+                        help="flip the order of the Kth dispatched event "
+                             "in the second run (divergence fixture)")
+    bisect.set_defaults(func=_cmd_bisect)
+
+    rules = sub.add_parser("rules", help="print the rule catalog")
+    rules.set_defaults(func=_cmd_rules)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

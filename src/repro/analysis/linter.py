@@ -1,0 +1,610 @@
+"""AST determinism linter (rules D001–D006).
+
+Two passes per module:
+
+1. a *collect* pass resolves imports, infers which local names and
+   ``self.X`` attributes are set-typed (for D003), and records which
+   identifiers feed heap priorities or timeout delays (for D005);
+2. a *check* pass walks expressions and emits findings.
+
+The linter is deliberately a static approximation: it prefers precise,
+high-signal patterns (set literals, ``set()`` construction, attributes
+initialized as sets in the same class) over whole-program type
+inference, and every rule has an in-place escape hatch
+(``# repro: allow[DXXX]``) plus a file-scoped allowlist for the
+irreducible residue.
+"""
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+from .rules import RULES, SUPPRESSIBLE, Finding
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+# Calls whose dotted name ends with one of these are wall-clock reads.
+_WALLCLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.sleep",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+# Consumers for which input order is provably irrelevant (D003 exempt).
+_ORDER_INSENSITIVE = {
+    "sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset",
+    "Counter",
+}
+
+# Wrappers that materialize an ordered sequence from their argument's
+# iteration order (D003 sinks when fed a set).
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter"}
+
+_HASH_FUNCS = {
+    "zlib.crc32", "zlib.adler32", "binascii.crc32",
+    "hashlib.md5", "hashlib.sha1", "hashlib.sha256", "hashlib.sha512",
+    "hashlib.blake2b", "hashlib.blake2s",
+}
+
+_REPR_METHODS = {"__repr__", "__str__", "__format__"}
+
+
+def _dotted(node):
+    """The dotted name of an expression (``a.b.c``), or None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _target_key(node):
+    """A scope-local key for an assignment target: name or ``self.attr``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return f"self.{node.attr}"
+    return None
+
+
+class _ModuleFacts(ast.NodeVisitor):
+    """Collect pass: imports, set-typed names, priority identifiers."""
+
+    def __init__(self):
+        # alias -> real module ("import numpy as np" -> {"np": "numpy"}).
+        self.module_aliases = {}
+        # bare name -> "module.name" ("from time import time").
+        self.name_imports = {}
+        # scope id -> set of keys known set-typed ("x", "self._watches").
+        self.set_names = {}
+        # identifiers whose value feeds a heap priority / timeout delay.
+        self.priority_idents = set()
+        self._scope_stack = [("module",)]
+
+    # -- scopes --------------------------------------------------------
+
+    def _scope(self):
+        return self._scope_stack[-1]
+
+    def _class_scope(self):
+        for scope in reversed(self._scope_stack):
+            if scope[0] == "class":
+                return scope
+        return None
+
+    def visit_ClassDef(self, node):
+        self._scope_stack.append(("class", node.name, id(node)))
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def _visit_func(self, node):
+        self._scope_stack.append(("func", node.name, id(node)))
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    # -- imports -------------------------------------------------------
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name.split(".")[0]] = \
+                alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module:
+            for alias in node.names:
+                self.name_imports[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- set-typed inference -------------------------------------------
+
+    def _literal_set_expr(self, node):
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def _record_set(self, target):
+        key = _target_key(target)
+        if key is None:
+            return
+        if key.startswith("self."):
+            scope = self._class_scope()
+            if scope is None:
+                return
+        else:
+            scope = self._scope()
+        self.set_names.setdefault(scope, set()).add(key)
+
+    def visit_Assign(self, node):
+        if self._literal_set_expr(node.value):
+            for target in node.targets:
+                self._record_set(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node):
+        if node.value is not None and self._literal_set_expr(node.value):
+            self._record_set(node.target)
+        self.generic_visit(node)
+
+    # -- priority identifiers (D005) -----------------------------------
+
+    def _idents_in(self, node):
+        out = set()
+        for sub in ast.walk(node):
+            key = _target_key(sub)
+            if key is not None:
+                out.add(key)
+            elif isinstance(sub, ast.Attribute):
+                out.add(sub.attr)
+        return out
+
+    def visit_Call(self, node):
+        dotted = _dotted(node.func)
+        if dotted and (dotted.endswith("heappush")
+                       or dotted.endswith("heapreplace")
+                       or dotted.endswith("heappushpop")):
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Tuple) \
+                    and node.args[1].elts:
+                self.priority_idents |= self._idents_in(node.args[1].elts[0])
+        elif dotted and (dotted.endswith(".timeout")
+                         or dotted.endswith("._schedule")):
+            if node.args:
+                self.priority_idents |= self._idents_in(node.args[0])
+        self.generic_visit(node)
+
+
+class _Checker(ast.NodeVisitor):
+    """Check pass: emits findings using the collected module facts."""
+
+    def __init__(self, path, facts):
+        self.path = path
+        self.facts = facts
+        self.findings = []
+        self._scope_stack = [("module",)]
+        self._func_stack = []
+        # Nodes proven order-insensitive by their consumer (D003 exempt).
+        self._exempt = set()
+
+    def _emit(self, node, code, message):
+        self.findings.append(Finding(self.path, node.lineno, node.col_offset,
+                                     code, message))
+
+    # -- scope bookkeeping (must mirror the collect pass) --------------
+
+    def visit_ClassDef(self, node):
+        self._scope_stack.append(("class", node.name, id(node)))
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def _visit_func(self, node):
+        self._scope_stack.append(("func", node.name, id(node)))
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+        self._scope_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    # -- type resolution helpers ---------------------------------------
+
+    def _resolve_call(self, func):
+        """Dotted name of a call target with import aliases applied."""
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.facts.name_imports and not rest:
+            return self.facts.name_imports[head]
+        if head in self.facts.module_aliases:
+            module = self.facts.module_aliases[head]
+            return f"{module}.{rest}" if rest else module
+        return dotted
+
+    def _is_set_like(self, node, depth=0):
+        if depth > 4:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            resolved = self._resolve_call(node.func)
+            if resolved in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "union", "intersection", "difference",
+                    "symmetric_difference"):
+                return self._is_set_like(node.func.value, depth + 1)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return (self._is_set_like(node.left, depth + 1)
+                    or self._is_set_like(node.right, depth + 1))
+        key = _target_key(node)
+        if key is None:
+            return False
+        if key.startswith("self."):
+            for scope in reversed(self._scope_stack):
+                if scope[0] == "class":
+                    return key in self.facts.set_names.get(scope, ())
+            return False
+        for scope in reversed(self._scope_stack):
+            if key in self.facts.set_names.get(scope, ()):
+                return True
+            if scope[0] == "func":
+                break  # locals don't leak out of the defining function
+        return key in self.facts.set_names.get(("module",), ())
+
+    def _flag_set_iteration(self, iter_node, where):
+        if id(iter_node) in self._exempt:
+            return
+        if self._is_set_like(iter_node):
+            name = _dotted(iter_node) or "<set expression>"
+            self._emit(iter_node, "D003",
+                       f"iteration over unordered set {name!r} {where}; "
+                       f"wrap in sorted(...) or use an insertion-ordered "
+                       f"dict")
+
+    # -- statements / expressions --------------------------------------
+
+    def visit_For(self, node):
+        self._flag_set_iteration(node.iter, "in a for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node, order_sensitive):
+        for index, comp in enumerate(node.generators):
+            if order_sensitive:
+                self._flag_set_iteration(comp.iter, "in a comprehension")
+            elif index > 0:
+                # Inner generators of an order-insensitive comprehension
+                # still only reorder an unordered result: exempt too.
+                self._exempt.add(id(comp.iter))
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node):
+        self._visit_comp(node, order_sensitive=id(node) not in self._exempt)
+
+    def visit_GeneratorExp(self, node):
+        self._visit_comp(node, order_sensitive=id(node) not in self._exempt)
+
+    def visit_DictComp(self, node):
+        # Last-wins on duplicate keys makes dict building order-sensitive.
+        self._visit_comp(node, order_sensitive=True)
+
+    def visit_SetComp(self, node):
+        self._visit_comp(node, order_sensitive=False)
+
+    def visit_AugAssign(self, node):
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            key = _target_key(node.target)
+            ident = key.split(".", 1)[-1] if key else None
+            if ident and ident in self.facts.priority_idents \
+                    and not isinstance(node.value, ast.Constant):
+                self._emit(node, "D005",
+                           f"float accumulation on {ident!r}, which feeds "
+                           f"an event priority or timeout delay; compute "
+                           f"it absolutely (base + k*step) instead")
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        resolved = self._resolve_call(node.func)
+
+        # D003 consumer analysis: mark arguments of order-insensitive
+        # consumers exempt *before* descending into them.
+        if resolved in _ORDER_INSENSITIVE:
+            for arg in node.args:
+                self._exempt.add(id(arg))
+        elif resolved in _ORDER_SENSITIVE_WRAPPERS:
+            for arg in node.args:
+                if id(node) not in self._exempt:
+                    self._flag_set_iteration(
+                        arg, f"materialized by {resolved}(...)")
+                else:
+                    self._exempt.add(id(arg))
+        elif (isinstance(node.func, ast.Attribute)
+              and node.func.attr == "join" and node.args):
+            self._flag_set_iteration(node.args[0], "joined into a string")
+
+        # D001 wall clock.
+        if resolved is not None and any(
+                resolved == pattern or resolved.endswith("." + pattern)
+                for pattern in _WALLCLOCK):
+            self._emit(node, "D001",
+                       f"wall-clock call {resolved}(); use the "
+                       f"simulation clock (sim.now / sim.timeout)")
+
+        # D002 module-level randomness.
+        if resolved is not None and resolved.startswith("random.") \
+                and resolved.count(".") == 1:
+            attr = resolved.split(".", 1)[1]
+            if attr == "SystemRandom":
+                self._emit(node, "D002",
+                           "random.SystemRandom is OS-entropy seeded and "
+                           "never reproducible; use random.Random(seed)")
+            elif attr != "Random":
+                self._emit(node, "D002",
+                           f"module-level random.{attr}() uses hidden "
+                           f"global state; draw from a seeded "
+                           f"random.Random owned by the sim or engine")
+
+        # D004 identity.
+        if isinstance(node.func, ast.Name) and node.func.id == "id" \
+                and len(node.args) == 1:
+            if not (self._func_stack
+                    and self._func_stack[-1] in _REPR_METHODS):
+                self._emit(node, "D004",
+                           "id(obj) is an allocation address; not stable "
+                           "across processes (allowed only in __repr__/"
+                           "__str__/__format__)")
+        for keyword in node.keywords:
+            if keyword.arg == "key" and isinstance(keyword.value, ast.Name) \
+                    and keyword.value.id == "id":
+                self._emit(node, "D004",
+                           "key=id orders by allocation address; sort by "
+                           "a stable attribute instead")
+
+        # D006 non-canonical hash inputs.
+        if resolved in _HASH_FUNCS or (
+                resolved is not None and resolved.startswith("hashlib.")):
+            for arg in node.args:
+                bad = self._non_canonical_bytes(arg)
+                if bad:
+                    self._emit(node, "D006",
+                               f"hash input built from {bad}; hash "
+                               f"canonical bytes (validated str .encode() "
+                               f"or explicit serialization) so routing/"
+                               f"digests are process-independent")
+        if isinstance(node.func, ast.Attribute) and node.func.attr == \
+                "update" and node.args and resolved is None:
+            # h.update(...) on a hashlib object can't be resolved
+            # statically; still scan the argument for identity leaks.
+            bad = self._non_canonical_bytes(node.args[0])
+            if bad:
+                self._emit(node, "D006",
+                           f"hash update input built from {bad}; hash "
+                           f"canonical bytes instead")
+
+        self.generic_visit(node)
+
+    def _non_canonical_bytes(self, node):
+        """Why a hash-input expression is process-dependent, or None."""
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            if isinstance(sub.func, ast.Name):
+                if sub.func.id in ("repr", "id", "hash"):
+                    return f"{sub.func.id}(...)"
+                if sub.func.id == "str" and sub.args and not isinstance(
+                        sub.args[0], ast.Constant):
+                    return "str(<non-literal>) (falls back to the default "\
+                           "repr with a memory address for plain objects)"
+            if isinstance(sub, ast.JoinedStr):
+                for value in sub.values:
+                    if isinstance(value, ast.FormattedValue) and \
+                            value.conversion == 114:  # !r
+                        return "an f-string {...!r} conversion"
+        return None
+
+
+# ----------------------------------------------------------------------
+# Suppressions, allowlist, driver
+# ----------------------------------------------------------------------
+
+
+def parse_suppressions(source, path):
+    """Per-line ``# repro: allow[...]`` codes plus D000s for bad codes.
+
+    Only real comment tokens count — the syntax can be *mentioned* in a
+    docstring or string literal without being a suppression.  Returns
+    ``(suppressions, errors)`` where ``suppressions`` maps line number
+    -> set of rule codes and ``errors`` is a list of D000 findings for
+    unknown codes.
+    """
+    suppressions = {}
+    errors = []
+    try:
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokenize.generate_tokens(
+                io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        comments = []
+    for lineno, col, text in comments:
+        match = _ALLOW_RE.search(text)
+        if not match:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",")
+                 if code.strip()}
+        unknown = sorted(code for code in codes if code not in SUPPRESSIBLE)
+        for code in unknown:
+            errors.append(Finding(
+                path, lineno, col, "D000",
+                f"suppression names unknown rule code {code!r} "
+                f"(known: {', '.join(sorted(SUPPRESSIBLE))})"))
+        known = codes - set(unknown)
+        if known:
+            suppressions[lineno] = known
+    return suppressions, errors
+
+
+def load_allowlist(path):
+    """Parse the committed allowlist.
+
+    Format (one entry per line)::
+
+        <path-suffix>  <rule-code>  <justification...>
+
+    Blank lines and ``#`` comments are ignored.  An entry allowlists
+    every finding of that rule in files whose path ends with the
+    suffix; the justification is mandatory so the file stays a report,
+    not a mute button.
+    """
+    entries = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split(None, 2)
+        if len(parts) < 3:
+            raise ValueError(
+                f"{path}:{lineno}: allowlist entry needs "
+                f"'<path> <rule> <justification>', got {stripped!r}")
+        suffix, code, justification = parts
+        if code not in SUPPRESSIBLE:
+            raise ValueError(
+                f"{path}:{lineno}: unknown rule code {code!r}")
+        entries.append((suffix, code, justification))
+    return entries
+
+
+class LintResult:
+    """Findings bucketed by status, plus strict-mode bookkeeping."""
+
+    def __init__(self):
+        self.active = []
+        self.suppressed = []
+        self.allowlisted = []
+        self.stale = []          # D000 findings (strict mode)
+        self.files_checked = 0
+
+    @property
+    def ok(self):
+        return not self.active and not self.stale
+
+    def all_findings(self):
+        return self.active + self.stale + self.suppressed + self.allowlisted
+
+    def summary(self):
+        return (f"{self.files_checked} files checked: "
+                f"{len(self.active)} finding(s), "
+                f"{len(self.stale)} stale/invalid suppression(s), "
+                f"{len(self.suppressed)} suppressed, "
+                f"{len(self.allowlisted)} allowlisted")
+
+
+def lint_source(source, path):
+    """Lint one module's source text; returns raw findings (no
+    suppression handling — see :func:`lint_paths`)."""
+    tree = ast.parse(source, filename=path)
+    facts = _ModuleFacts()
+    facts.visit(tree)
+    checker = _Checker(path, facts)
+    checker.visit(tree)
+    return checker.findings
+
+
+def _iter_py_files(paths):
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(paths, allowlist=(), strict=False):
+    """Lint files/trees; returns a :class:`LintResult`.
+
+    ``allowlist`` is a list of ``(path_suffix, code, justification)``
+    entries from :func:`load_allowlist`.  ``strict`` also fails
+    suppressions that no longer match a finding and allowlist entries
+    that no longer match any file.
+    """
+    result = LintResult()
+    used_allowlist = set()
+    for file_path in _iter_py_files(paths):
+        source = file_path.read_text()
+        rel = file_path.as_posix()
+        result.files_checked += 1
+        findings = lint_source(source, rel)
+        suppressions, errors = parse_suppressions(source, rel)
+        result.stale.extend(errors)
+        used_suppressions = set()
+        for finding in findings:
+            codes = suppressions.get(finding.line, ())
+            if finding.code in codes:
+                finding.status = "suppressed"
+                used_suppressions.add((finding.line, finding.code))
+                result.suppressed.append(finding)
+                continue
+            allow = next(
+                (entry for entry in allowlist
+                 if rel.endswith(entry[0]) and finding.code == entry[1]),
+                None)
+            if allow is not None:
+                finding.status = "allowlisted"
+                used_allowlist.add(allow)
+                result.allowlisted.append(finding)
+                continue
+            result.active.append(finding)
+        if strict:
+            for lineno, codes in sorted(suppressions.items()):
+                for code in sorted(codes):
+                    if (lineno, code) not in used_suppressions:
+                        result.stale.append(Finding(
+                            rel, lineno, 0, "D000",
+                            f"stale suppression: no {code} finding on "
+                            f"this line (remove the allow comment)"))
+    if strict:
+        for entry in allowlist:
+            if entry not in used_allowlist:
+                result.stale.append(Finding(
+                    entry[0], 0, 0, "D000",
+                    f"stale allowlist entry: no {entry[1]} finding "
+                    f"matches {entry[0]!r}"))
+    result.active.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    result.stale.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result
+
+
+def format_report(result, verbose=False):
+    lines = [finding.format() for finding in result.active]
+    lines += [finding.format() for finding in result.stale]
+    if verbose:
+        lines += [f"{finding.format()} [{finding.status}]"
+                  for finding in result.suppressed + result.allowlisted]
+    lines.append(result.summary())
+    for finding in result.active:
+        rule = RULES.get(finding.code)
+        if rule:
+            lines.append(f"  {finding.code}: {rule.title}")
+            break
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""The determinism rule catalog (D001–D006).
+
+Each rule names one mechanism by which a code path can make a
+scheduling-visible decision that is not a pure function of the
+simulation seed — exactly the failures that silently break the repo's
+byte-identical-convergence and chaos-replay claims.
+
+Suppression syntax
+------------------
+
+A finding can be acknowledged in place with a trailing comment::
+
+    items = list(self._members)  # repro: allow[D003] snapshot, order unused
+
+Multiple codes are comma-separated: ``# repro: allow[D003,D004]``.
+Unknown codes are rejected (finding ``D000``), and under ``--strict``
+a suppression on a line with no matching finding fails the run as
+*stale*.  File-scoped exceptions live in the committed allowlist (see
+:func:`repro.analysis.linter.load_allowlist`).
+"""
+
+
+class Rule:
+    """One lint rule: code, title, and the rationale shown by ``rules``."""
+
+    __slots__ = ("code", "title", "rationale")
+
+    def __init__(self, code, title, rationale):
+        self.code = code
+        self.title = title
+        self.rationale = rationale
+
+
+RULES = {
+    "D000": Rule(
+        "D000", "invalid or stale suppression",
+        "A '# repro: allow[...]' comment names an unknown rule code, or "
+        "(--strict) suppresses a finding that no longer exists on that "
+        "line.  Meta-rule: D000 itself cannot be suppressed."),
+    "D001": Rule(
+        "D001", "wall-clock time outside the sim clock",
+        "Calls to time.time/monotonic/perf_counter/sleep or "
+        "datetime.now/utcnow/today leak host wall-clock into the "
+        "simulation.  Every timestamp must come from sim.now so two "
+        "same-seed runs read identical clocks."),
+    "D002": Rule(
+        "D002", "module-level or unseeded randomness",
+        "Calls through the module-level random generator (random.random, "
+        "random.choice, ...) or random.SystemRandom share hidden global "
+        "state seeded from the OS.  All draws must come from a "
+        "random.Random(seed) owned by the simulation or chaos engine."),
+    "D003": Rule(
+        "D003", "unordered-set iteration reaching an ordering-sensitive sink",
+        "Iterating a set (or frozenset / set expression) yields elements "
+        "in hash order, which for strings varies per process with "
+        "PYTHONHASHSEED — event fan-out, queue insertion, or list "
+        "building driven by it diverges across runs.  Wrap the iterable "
+        "in sorted(...) or keep an insertion-ordered dict.  Plain dict "
+        "views (.keys()/.values()/.items()) are insertion-ordered in "
+        "CPython >= 3.7 and therefore exempt."),
+    "D004": Rule(
+        "D004", "object identity used for ordering or keying",
+        "id(obj) (and key=id sorts) depend on allocation addresses, "
+        "which differ across processes and runs.  Allowed only inside "
+        "__repr__/__str__/__format__, where the value is display-only."),
+    "D005": Rule(
+        "D005", "float accumulation feeding an event priority",
+        "An augmented float accumulation (x += dt) on a value used as a "
+        "heap priority or timeout delay drifts by accumulated rounding "
+        "error; two code paths computing the 'same' priority can "
+        "disagree in the last ulp and flip event order.  Recompute "
+        "priorities absolutely (base + k*step) instead."),
+    "D006": Rule(
+        "D006", "non-canonical bytes fed to a stable hash",
+        "crc32/hashlib inputs built from repr(), id(), hash(), or "
+        "str() of a non-string depend on memory addresses or per-process "
+        "hash seeds, so 'stable' routing or digests silently stop being "
+        "stable (e.g. tenant->shard routing must hash canonical bytes)."),
+}
+
+# Codes that may appear in allow[...] comments (D000 is the meta rule).
+SUPPRESSIBLE = frozenset(code for code in RULES if code != "D000")
+
+
+class Finding:
+    """One lint finding, pointing at a file/line/col."""
+
+    __slots__ = ("path", "line", "col", "code", "message", "status")
+
+    def __init__(self, path, line, col, code, message, status="active"):
+        self.path = path
+        self.line = line
+        self.col = col
+        self.code = code
+        self.message = message
+        # "active" | "suppressed" | "allowlisted"
+        self.status = status
+
+    def format(self):
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self):
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "status": self.status,
+        }
+
+    def __repr__(self):
+        return f"<Finding {self.code} {self.path}:{self.line}>"
+
+
+def format_rule_catalog():
+    """The ``python -m repro.analysis rules`` output."""
+    lines = ["determinism rule catalog", ""]
+    for code in sorted(RULES):
+        rule = RULES[code]
+        lines.append(f"{code}  {rule.title}")
+        lines.append(f"      {rule.rationale}")
+        lines.append("")
+    lines.append("suppress in place:  # repro: allow[DXXX] justification")
+    return "\n".join(lines)

@@ -39,8 +39,17 @@ class Credential:
 
 
 def hash_certificate(cert_pem):
-    """SHA-256 hash of a (synthetic) certificate, hex encoded."""
-    return hashlib.sha256(str(cert_pem).encode()).hexdigest()
+    """SHA-256 hash of a (synthetic) certificate, hex encoded.
+
+    Requires a ``str``: hashing ``str()`` of an arbitrary object would
+    bake its default repr — a memory address — into the "stable" hash
+    (linter rule D006).
+    """
+    if not isinstance(cert_pem, str):
+        raise TypeError(
+            f"hash_certificate needs the certificate PEM as str, "
+            f"got {type(cert_pem).__name__}")
+    return hashlib.sha256(cert_pem.encode()).hexdigest()
 
 
 ADMIN = Credential("admin", groups=("system:masters",))

@@ -257,7 +257,7 @@ class APIServer:
             raise Invalid(str(exc)) from exc
         self._admit(credential, "create", plural, obj, None,
                     obj.metadata.namespace)
-        obj.metadata.uid = generate_uid()
+        obj.metadata.uid = generate_uid(self.sim)
         obj.metadata.creation_timestamp = self.sim.now
         obj.metadata.generation = 1
         obj.metadata.resource_version = None

@@ -38,9 +38,27 @@ def optimized_config(base=None, shards=2, batch_max=8):
 
 def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         report=False, convergence_timeout=300.0, optimized=True,
-        kill_leader=False, replicas=2):
+        kill_leader=False, replicas=2, record=False, detect_races=False):
     config = optimized_config() if optimized else DEFAULT_CONFIG
-    env = VirtualClusterEnv(seed=seed, config=config,
+    sim = None
+    recorder = None
+    if record or detect_races:
+        from repro.simkernel import Simulation
+
+        sim = Simulation(seed=seed)
+    if record:
+        # Determinism check: hash every store emission so two same-seed
+        # runs can be diffed (and bisected) by repro.analysis.bisect.
+        from repro.analysis.bisect import ReplayRecorder
+
+        recorder = ReplayRecorder(sim)
+    if detect_races:
+        # Vector-clock race detection under the fault mix (worker kills,
+        # leader failovers); reachable as env.sim.race_detector.
+        from repro.analysis.racedetect import RaceDetector
+
+        RaceDetector(sim)
+    env = VirtualClusterEnv(seed=seed, config=config, sim=sim,
                             num_virtual_nodes=nodes,
                             scan_interval=5.0, dws_workers=4, uws_workers=4,
                             syncer_replicas=replicas if kill_leader else 1)
@@ -86,12 +104,47 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
                                title="Telemetry (core families)",
                                families=CORE_FAMILIES))
         print()
+    if detect_races:
+        detector = env.sim.race_detector
+        print(detector.report())
+        if not detector.ok:
+            converged = False
+            detail = f"{len(detector.conflicts)} race conflict(s)"
     status = "CONVERGED" if converged else "FAILED TO CONVERGE"
     print(f"seed={seed} horizon={horizon:g}s sim_time={env.sim.now:.1f}s "
           f"-> {status}")
     if not converged:
         print(f"  detail: {detail}")
+    if record:
+        return converged, engine, recorder
     return converged, engine
+
+
+def check_determinism(seed, report=False, **kwargs):
+    """Run the chaos config twice with replay recording and diff.
+
+    On divergence, prints the bisected first divergent store event and
+    component (the self-diagnosis the --report output embeds) plus the
+    standalone reproduction command.  Returns True when both runs
+    converged AND their store-event streams are identical.
+    """
+    from repro.analysis.bisect import first_divergence
+
+    converged_a, _engine, run_a = run(seed, report=report, record=True,
+                                      **kwargs)
+    converged_b, _engine_b, run_b = run(seed, report=False, record=True,
+                                        **kwargs)
+    divergence = first_divergence(run_a, run_b)
+    if divergence is None:
+        print(f"determinism check: OK — {len(run_a.digests)} store events "
+              f"byte-identical across two seed={seed} chaos runs")
+        return converged_a and converged_b
+    print(f"determinism check: FAILED — same-seed (seed={seed}) chaos "
+          f"runs diverged")
+    print(divergence.format())
+    print(f"  reproduce standalone: PYTHONPATH=src python -m repro.analysis "
+          f"bisect --seed {seed}")
+    return False
 
 
 def main(argv=None):
@@ -121,6 +174,14 @@ def main(argv=None):
     parser.add_argument("--replicas", type=int, default=2,
                         help="syncer replicas when --kill-leader is on "
                              "(default 2)")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run the chaos config twice with store-event "
+                             "recording; on divergence, bisect to the "
+                             "first divergent event (repro.analysis)")
+    parser.add_argument("--detect-races", action="store_true",
+                        help="run under the vector-clock race detector; "
+                             "any unordered cross-process store/cache "
+                             "access fails the run")
     args = parser.parse_args(argv)
     if args.replicas < 2:
         parser.error("--replicas must be >= 2")
@@ -132,11 +193,18 @@ def main(argv=None):
         parser.error("--nodes must be >= 1")
     if args.horizon <= 0:
         parser.error("--horizon must be > 0")
+    if args.check_determinism:
+        ok = check_determinism(
+            args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
+            horizon=args.horizon, nodes=args.nodes, report=args.report,
+            optimized=not args.no_optimized, kill_leader=args.kill_leader,
+            replicas=args.replicas)
+        return 0 if ok else 1
     converged, _engine = run(
         args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
         horizon=args.horizon, nodes=args.nodes, report=args.report,
         optimized=not args.no_optimized, kill_leader=args.kill_leader,
-        replicas=args.replicas)
+        replicas=args.replicas, detect_races=args.detect_races)
     return 0 if converged else 1
 
 

@@ -32,6 +32,10 @@ class SharedInformer:
         self.plural = plural
         self.cache = ObjectCache(size_factor=size_factor,
                                  size_overhead=size_overhead)
+        detector = getattr(sim, "race_detector", None)
+        if detector is not None:
+            self.cache.set_race_probe(
+                detector.cache_probe(f"cache:{plural}"))
         self._handlers = []
         self._handler_cost = handler_cost
         self._cpu_account = cpu_account
@@ -77,7 +81,10 @@ class SharedInformer:
                 self._fanout("update", old, obj)
             else:
                 self._fanout("add", None, obj)
-        for key in old_keys - new_keys:
+        # sorted(): the leftover-key set iterates in hash order, which
+        # for string keys varies with PYTHONHASHSEED across processes —
+        # delete fan-out order must not (linter rule D003).
+        for key in sorted(old_keys - new_keys):
             old = self.cache.get(key)
             self.cache.delete(key)
             self._fanout("delete", None, old)

@@ -55,8 +55,17 @@ class VirtualCluster(KubeObject):
 
 
 def short_uid_hash(uid):
-    """Six-hex-character hash of an object UID (namespace prefix part)."""
-    return hashlib.sha256(str(uid).encode()).hexdigest()[:6]
+    """Six-hex-character hash of an object UID (namespace prefix part).
+
+    Requires a ``str``: hashing ``str()`` of a non-string would embed
+    its default repr — a memory address — making the derived namespace
+    prefix differ across processes (linter rule D006).
+    """
+    if not isinstance(uid, str):
+        raise TypeError(
+            f"short_uid_hash needs the UID as str, "
+            f"got {type(uid).__name__}")
+    return hashlib.sha256(uid.encode()).hexdigest()[:6]
 
 
 # DNS-1123 subdomain limit enforced by apiserver validation.

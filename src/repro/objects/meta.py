@@ -7,8 +7,21 @@ from .base import Field, Serializable
 _uid_counter = itertools.count(1)
 
 
-def generate_uid():
-    """Generate a unique object UID (deterministic across a process run)."""
+def generate_uid(sim=None):
+    """Generate a unique object UID.
+
+    With ``sim``, draws from a per-simulation counter so two same-seed
+    runs assign identical UIDs — the process-global fallback depends on
+    how many objects were ever created in the interpreter, which the
+    replay bisector flags as a divergence.  The fallback remains for
+    objects minted outside any simulation (test fixtures).
+    """
+    if sim is not None:
+        counter = getattr(sim, "_uid_counter", None)
+        if counter is None:
+            counter = itertools.count(1)
+            sim._uid_counter = counter
+        return f"uid-{next(counter):08x}"
     return f"uid-{next(_uid_counter):08x}"
 
 

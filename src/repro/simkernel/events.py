@@ -131,6 +131,13 @@ class Condition(Event):
     def _on_event(self, event):
         if self.triggered:
             return
+        detector = self.sim.race_detector
+        if detector is not None:
+            # Accumulate every constituent event's stamp: a waiter on
+            # all_of(...) happens-after each of its events, not only the
+            # one whose dispatch finally triggers the condition.
+            self._race_acc = detector.merge_stamps(
+                getattr(self, "_race_acc", None), detector.context_stamp())
         if not event.ok:
             event.defused = True
             self.fail(event.value)

@@ -29,13 +29,23 @@ class Simulation:
         same seed and workload produces identical timelines.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, perturb_swap=None):
         self._now = 0.0
         self._heap = []
         self._seq = 0
         self._active_process = None
         self.rng = random.Random(seed)
         self._process_count = 0
+        # Analysis hooks (repro.analysis): a RaceDetector stamps events
+        # with vector clocks, a ReplayRecorder hashes store emissions.
+        self.race_detector = None
+        self.replay_recorder = None
+        self._dispatched = 0
+        # Divergence fixture: dispatch the (K+1)-th ready item before
+        # the K-th, once — flips exactly one event order so the replay
+        # bisector has a real divergence to localize.  Never set outside
+        # tests/diagnostics.
+        self._perturb_swap = perturb_swap
         self.metrics = MetricsRegistry(self)
         self.accounting = Accounting(self)
         # Unified telemetry hub (repro.telemetry imports nothing from
@@ -61,11 +71,15 @@ class Simulation:
     def _schedule(self, event, delay=0):
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
+        if self.race_detector is not None:
+            self.race_detector.stamp_event(event)
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
 
     def _schedule_callback(self, fn, delay=0):
         """Schedule a bare callable (used for late subscribers, interrupts)."""
+        if self.race_detector is not None:
+            self.race_detector.stamp_callback(fn)
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, (_CALLBACK, fn)))
 
@@ -126,12 +140,14 @@ class Simulation:
                     break
                 heapq.heappop(self._heap)
                 self._now = when
-                if isinstance(item, tuple) and item[0] is _CALLBACK:
-                    item[1]()
-                    continue
-                item._process()
-                if not item.ok and not item.defused and isinstance(item, Process):
-                    raise item.value
+                self._dispatched += 1
+                if (self._perturb_swap is not None
+                        and self._dispatched >= self._perturb_swap
+                        and self._heap):
+                    self._perturb_swap = None
+                    _when2, _seq2, early = heapq.heappop(self._heap)
+                    self._dispatch_item(early)
+                self._dispatch_item(item)
             else:
                 if stop_at is not None:
                     self._now = stop_at
@@ -152,6 +168,31 @@ class Simulation:
                 raise stop_event.value
             return stop_event.value
         return None
+
+    def _dispatch_item(self, item):
+        """Dispatch one popped heap item (event or bare callback)."""
+        detector = self.race_detector
+        if isinstance(item, tuple) and item[0] is _CALLBACK:
+            fn = item[1]
+            if detector is not None:
+                detector.begin_dispatch(getattr(fn, "_race_stamp", None))
+                try:
+                    fn()
+                finally:
+                    detector.end_dispatch()
+            else:
+                fn()
+            return
+        if detector is not None:
+            detector.begin_dispatch(getattr(item, "_race_stamp", None))
+            try:
+                item._process()
+            finally:
+                detector.end_dispatch()
+        else:
+            item._process()
+        if not item.ok and not item.defused and isinstance(item, Process):
+            raise item.value
 
     @staticmethod
     def _stop_callback(event):

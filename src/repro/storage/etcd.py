@@ -82,7 +82,7 @@ class Watch:
     def cancel(self):
         if not self.cancelled:
             self.cancelled = True
-            self.store._watches.discard(self)
+            self.store._watches.pop(self, None)
             self.channel.close()
 
 
@@ -106,7 +106,10 @@ class EtcdStore:
         self._history = []
         self._compacted_revision = 0
         self._history_limit = history_limit
-        self._watches = set()
+        # Registration-ordered (dict-as-ordered-set): watch fan-out in
+        # _emit must not depend on set hash order, which varies with
+        # PYTHONHASHSEED across processes (linter rule D003).
+        self._watches = {}
         # Fencing tokens: domain -> highest token observed (see
         # :meth:`check_fence`).  Survives snapshot/restore.
         self._fences = {}
@@ -156,10 +159,31 @@ class EtcdStore:
     def revision(self):
         return self._revision
 
+    # Race-detector probes (no-ops unless a RaceDetector is attached to
+    # the sim).  create and CAS-guarded update/delete are release-writes:
+    # the revision check serializes them, so they synchronize rather
+    # than conflict; blind writes are checked for concurrency.
+
+    def _race_write(self, key, release):
+        detector = getattr(self.sim, "race_detector", None)
+        if detector is not None:
+            detector.on_write(self.name, key, release=release)
+
+    def _race_read(self, key):
+        detector = getattr(self.sim, "race_detector", None)
+        if detector is not None:
+            detector.on_read(self.name, key)
+
+    def _race_scan(self, prefix):
+        detector = getattr(self.sim, "race_detector", None)
+        if detector is not None:
+            detector.on_scan(self.name, prefix)
+
     def create(self, key, value):
         """Insert a new key; fails if present. Returns the new revision."""
         if key in self._data:
             raise KeyAlreadyExists(key)
+        self._race_write(key, release=True)
         self._ops_write.inc()
         self._revision += 1
         stored = StoredValue(fast_deep_copy(value), self._revision,
@@ -175,6 +199,7 @@ class EtcdStore:
         stored = self._data.get(key)
         if stored is None:
             raise KeyNotFound(key)
+        self._race_read(key)
         self._ops_read.inc()
         return fast_deep_copy(stored.value), stored.mod_revision
 
@@ -183,6 +208,7 @@ class EtcdStore:
         stored = self._data.get(key)
         if stored is None:
             return None, 0
+        self._race_read(key)
         return fast_deep_copy(stored.value), stored.mod_revision
 
     def update(self, key, value, expected_revision=None):
@@ -194,6 +220,7 @@ class EtcdStore:
                 and stored.mod_revision != expected_revision):
             raise RevisionConflict(key, expected_revision,
                                    stored.mod_revision)
+        self._race_write(key, release=expected_revision is not None)
         self._ops_write.inc()
         self._revision += 1
         prev = stored.value
@@ -213,6 +240,7 @@ class EtcdStore:
                 and stored.mod_revision != expected_revision):
             raise RevisionConflict(key, expected_revision,
                                    stored.mod_revision)
+        self._race_write(key, release=expected_revision is not None)
         self._ops_write.inc()
         self._revision += 1
         del self._data[key]
@@ -251,6 +279,7 @@ class EtcdStore:
         Returns ``(items, revision)`` — the revision is the store revision
         at list time, which list+watch reflectors use as their start point.
         """
+        self._race_scan(prefix)
         self._ops_read.inc()
         items = []
         for key in self._keys_under(prefix):
@@ -287,10 +316,13 @@ class EtcdStore:
             for event in self._history:
                 if event.revision > from_revision and watch.wants(event):
                     channel.try_put(event)
-        self._watches.add(watch)
+        self._watches[watch] = None
         return watch
 
     def _emit(self, event):
+        recorder = getattr(self.sim, "replay_recorder", None)
+        if recorder is not None:
+            recorder.record(self.name, event)
         self._history.append(event)
         if len(self._history) > self._history_limit:
             self.compact(keep=self._history_limit // 2)
@@ -371,6 +403,11 @@ class EtcdStore:
         """
         for watch in list(self._watches):
             watch.cancel()
+        detector = getattr(self.sim, "race_detector", None)
+        if detector is not None:
+            # Discontinuity: pre-restore accesses no longer describe
+            # reachable state, so the access graph restarts.
+            detector.reset_object(self.name)
         self._data = {}
         self._buckets = {}
         for key, (value, create_rev, mod_rev, version) in \
@@ -431,6 +468,9 @@ class EtcdStore:
         """
         for watch in list(self._watches):
             watch.cancel()
+        detector = getattr(self.sim, "race_detector", None)
+        if detector is not None:
+            detector.reset_object(self.name)
         self._data = {}
         self._buckets = {}
         self._history = []

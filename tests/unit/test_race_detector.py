@@ -1,0 +1,257 @@
+"""Unit tests for the vector-clock sim race detector.
+
+The seeded injected race required by the analysis suite lives here:
+two sim processes blind-writing the same etcd key with no
+happens-before edge between them MUST be caught, while the same
+access pattern ordered through an event edge (or serialized through
+CAS guards) MUST stay silent.
+"""
+
+import pytest
+
+from repro.analysis import RaceDetector
+from repro.simkernel import Channel, Event, Simulation
+from repro.storage import EtcdStore
+
+
+def _drive(sim, until=10.0):
+    sim.run(until=until)
+
+
+class TestInjectedRace:
+    def test_blind_writes_without_edge_are_caught(self):
+        """The seeded injected race: unordered blind writes conflict."""
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        store = EtcdStore(sim, name="etcd")
+        store.create("/registry/x/a", {"v": 0})
+
+        def writer(tag, delay):
+            yield sim.timeout(delay)
+            store.update("/registry/x/a", {"v": tag})
+
+        sim.process(writer(1, 1.0), name="writer-1")
+        sim.process(writer(2, 2.0), name="writer-2")
+        _drive(sim)
+
+        assert not detector.ok
+        conflict = detector.conflicts[0]
+        assert conflict.key == "/registry/x/a"
+        assert conflict.kind == "write-write"
+        assert {conflict.first_name, conflict.second_name} == {
+            "writer-1", "writer-2"}
+
+    def test_event_edge_suppresses_conflict(self):
+        """Same writes, but ordered through an Event: no conflict."""
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        store = EtcdStore(sim, name="etcd")
+        store.create("/registry/x/a", {"v": 0})
+        done = Event(sim)
+
+        def first():
+            yield sim.timeout(1.0)
+            store.update("/registry/x/a", {"v": 1})
+            done.succeed()
+
+        def second():
+            yield done
+            store.update("/registry/x/a", {"v": 2})
+
+        sim.process(first(), name="writer-1")
+        sim.process(second(), name="writer-2")
+        _drive(sim)
+
+        assert detector.ok, detector.report()
+
+    def test_cas_writes_do_not_conflict(self):
+        """CAS-guarded updates serialize through observed revisions."""
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        store = EtcdStore(sim, name="etcd")
+        store.create("/registry/x/a", {"v": 0})
+
+        def writer(tag, delay):
+            yield sim.timeout(delay)
+            _value, revision = store.get("/registry/x/a")
+            store.update("/registry/x/a", {"v": tag},
+                         expected_revision=revision)
+
+        sim.process(writer(1, 1.0), name="writer-1")
+        sim.process(writer(2, 2.0), name="writer-2")
+        _drive(sim)
+
+        assert detector.ok, detector.report()
+
+    def test_conflict_reported_once_per_pair(self):
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        store = EtcdStore(sim, name="etcd")
+        store.create("/registry/x/a", {"v": 0})
+
+        def writer(tag, delay):
+            yield sim.timeout(delay)
+            store.update("/registry/x/a", {"v": tag})
+            yield sim.timeout(1.0)
+            store.update("/registry/x/a", {"v": tag + 10})
+
+        sim.process(writer(1, 1.0), name="writer-1")
+        sim.process(writer(2, 1.5), name="writer-2")
+        _drive(sim)
+
+        keys = {(c.obj, c.key, c.kind) for c in detector.conflicts}
+        assert len(keys) == len(detector.conflicts)
+
+
+class TestReadTracking:
+    def test_read_write_conflict_needs_track_reads(self):
+        def build(track_reads):
+            sim = Simulation(seed=1)
+            detector = RaceDetector(sim, track_reads=track_reads)
+            store = EtcdStore(sim, name="etcd")
+            store.create("/registry/x/a", {"v": 0})
+
+            def reader():
+                yield sim.timeout(1.0)
+                store.get("/registry/x/a")
+
+            def writer():
+                yield sim.timeout(2.0)
+                store.update("/registry/x/a", {"v": 1})
+
+            sim.process(reader(), name="reader")
+            sim.process(writer(), name="writer")
+            _drive(sim)
+            return detector
+
+        assert build(track_reads=False).ok
+        detector = build(track_reads=True)
+        assert not detector.ok
+        assert any(c.kind == "read-write" for c in detector.conflicts)
+
+
+class TestCarrierStamps:
+    def test_channel_carries_producer_stamp(self):
+        """A value handed through a Channel orders producer and consumer."""
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        store = EtcdStore(sim, name="etcd")
+        store.create("/registry/x/a", {"v": 0})
+        channel = Channel(sim, capacity=4)
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.update("/registry/x/a", {"v": 1})
+            yield channel.put("go")
+
+        def consumer():
+            yield channel.get()
+            store.update("/registry/x/a", {"v": 2})
+
+        sim.process(producer(), name="producer")
+        sim.process(consumer(), name="consumer")
+        _drive(sim)
+
+        assert detector.ok, detector.report()
+
+    def test_workqueue_carries_producer_stamp(self):
+        from repro.clientgo import WorkQueue
+
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        store = EtcdStore(sim, name="etcd")
+        store.create("/registry/x/a", {"v": 0})
+        queue = WorkQueue(sim)
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.update("/registry/x/a", {"v": 1})
+            queue.add("item")
+
+        def consumer():
+            item, _enqueued = yield queue.get()
+            assert item == "item"
+            store.update("/registry/x/a", {"v": 2})
+            queue.done(item)
+
+        sim.process(producer(), name="producer")
+        sim.process(consumer(), name="consumer")
+        _drive(sim)
+
+        assert detector.ok, detector.report()
+
+
+class TestLifecycle:
+    def test_reset_object_on_wipe(self):
+        """wipe() clears per-key history so pre-wipe writes don't haunt."""
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        store = EtcdStore(sim, name="etcd")
+
+        def first():
+            yield sim.timeout(1.0)
+            store.create("/registry/x/a", {"v": 1})
+
+        def wiper():
+            yield sim.timeout(2.0)
+            store.wipe()
+
+        def second():
+            yield sim.timeout(3.0)
+            store.create("/registry/x/a", {"v": 2})
+
+        sim.process(first(), name="writer-1")
+        sim.process(wiper(), name="wiper")
+        sim.process(second(), name="writer-2")
+        _drive(sim)
+
+        assert detector.ok, detector.report()
+
+    def test_max_conflicts_caps_reporting(self):
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim, max_conflicts=1)
+        store = EtcdStore(sim, name="etcd")
+        for name in ("a", "b", "c"):
+            store.create(f"/registry/x/{name}", {"v": 0})
+
+        def writer(tag, delay):
+            yield sim.timeout(delay)
+            for name in ("a", "b", "c"):
+                store.update(f"/registry/x/{name}", {"v": tag})
+
+        sim.process(writer(1, 1.0), name="writer-1")
+        sim.process(writer(2, 2.0), name="writer-2")
+        _drive(sim)
+
+        assert not detector.ok
+        assert len(detector.conflicts) == 1
+
+    def test_report_mentions_conflict_count(self):
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        assert "0 conflict(s)" in detector.report()
+
+
+class TestCacheProbe:
+    def test_unsynchronized_cache_writes_conflict(self):
+        from types import SimpleNamespace
+
+        from repro.clientgo import ObjectCache
+
+        sim = Simulation(seed=1)
+        detector = RaceDetector(sim)
+        cache = ObjectCache()
+        cache.set_race_probe(detector.cache_probe("cache:test"))
+
+        def writer(tag, delay):
+            yield sim.timeout(delay)
+            cache.upsert(SimpleNamespace(
+                key="ns/a", value=tag,
+                metadata=SimpleNamespace(namespace="ns", labels={})))
+
+        sim.process(writer(1, 1.0), name="writer-1")
+        sim.process(writer(2, 2.0), name="writer-2")
+        _drive(sim)
+
+        assert not detector.ok
+        assert detector.conflicts[0].obj.startswith("cache:test")
