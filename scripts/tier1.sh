@@ -5,6 +5,7 @@
 # Usage:  scripts/tier1.sh [extra pytest args...]
 #         scripts/tier1.sh --chaos-smoke [seed]
 #         scripts/tier1.sh --telemetry-smoke [seed]
+#         scripts/tier1.sh --durability-smoke [seed]
 #         scripts/tier1.sh --lint
 #
 # Runs the tier1-marked tests (every test except the long soak runs)
@@ -26,6 +27,13 @@
 # metric family (apiserver, etcd, workqueue, informer, syncer,
 # scheduler, kubelet, spans) is present with recorded activity.
 #
+# --durability-smoke runs the storage durability gate (DESIGN.md §13):
+# a seeded chaos run with the replicated super store under leader
+# kill -9 (plain and mid-txn), follower lag, and a torn WAL tail; a
+# same-seed determinism double-run with a 2-replica store; and the
+# durability-marked benchmark suite (crash storm: zero committed-write
+# loss, MTTR within the lease budget, byte-identical convergence).
+#
 # --lint runs the determinism linter (repro.analysis) over src/ in
 # strict mode against the committed allowlist, then the lint-marked
 # CLI smoke tests.  Exit 0 means zero non-allowlisted findings and no
@@ -41,6 +49,25 @@ if [[ "${1:-}" == "--chaos-smoke" ]]; then
     echo "tier1: chaos smoke (seed=$seed), HA fault mix (--kill-leader)" >&2
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python -m repro.chaos --seed "$seed" --horizon 30 --kill-leader
+    exit 0
+fi
+
+if [[ "${1:-}" == "--durability-smoke" ]]; then
+    seed="${2:-0}"
+    echo "tier1: durability smoke (seed=$seed), storage fault mix" >&2
+    # Replicated super store under leader kill -9 (plain + mid-txn),
+    # follower lag, and a torn WAL tail — the run must converge.
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --seed "$seed" --horizon 30 \
+        --kill-store --wal-corrupt
+    echo "tier1: durability smoke (seed=$seed), determinism with replication" >&2
+    # Two same-seed runs with a 2-replica store must stay byte-identical.
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --seed "$seed" --horizon 25 \
+        --check-determinism --replicas-store 2
+    echo "tier1: durability-marked benchmark suite" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -x -q -m durability
     exit 0
 fi
 

@@ -48,7 +48,8 @@ def _cmd_race(args):
     detector = run_under_detector(
         args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
         nodes=args.nodes, horizon=args.horizon,
-        track_reads=args.track_reads)
+        track_reads=args.track_reads,
+        store_replicas=args.replicas_store)
     print(detector.report())
     return 0 if detector.ok else 2
 
@@ -104,6 +105,10 @@ def main(argv=None):
     race.add_argument("--track-reads", action="store_true",
                       help="also flag read-write conflicts (diagnostic; "
                            "level-triggered reads make this noisy)")
+    race.add_argument("--replicas-store", type=int, default=1,
+                      help="run the super cluster on a replicated store "
+                           "(WAL streaming + follower applies must stay "
+                           "race-free; default 1 = seed store)")
     race.set_defaults(func=_cmd_race)
 
     bisect = sub.add_parser(

@@ -109,7 +109,18 @@ class APIServer:
         self.sim = sim
         self.name = name
         self.config = config or DEFAULT_CONFIG
-        self.store = store or EtcdStore(sim, name=f"{name}-etcd")
+        # ``is not None``, not truthiness: an *empty* injected store has
+        # __len__() == 0 and would be silently replaced.
+        self.store = (store if store is not None
+                      else EtcdStore(sim, name=f"{name}-etcd"))
+        if hasattr(self.store, "set_unavailable_factory"):
+            # A down store (killed leader, leaderless replica group)
+            # surfaces as a retryable ServerUnavailable, not a raw
+            # storage error clients don't know how to classify.
+            from .errors import ServerUnavailable
+
+            self.store.set_unavailable_factory(
+                lambda message: ServerUnavailable(message))
         self.registry = registry or ResourceRegistry()
         self.reader = StoreReader(self)
         self.authenticator = Authenticator()
@@ -184,6 +195,10 @@ class APIServer:
             from .errors import ServerUnavailable
 
             raise ServerUnavailable(f"{self.name} is down")
+        if not getattr(self.store, "available", True):
+            from .errors import ServerUnavailable
+
+            raise ServerUnavailable(f"{self.name}: storage unavailable")
         if self.fault_injector is not None:
             yield from self.fault_injector.on_request(verb, plural)
         self.request_count += 1

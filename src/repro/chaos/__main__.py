@@ -17,6 +17,7 @@ from dataclasses import replace
 from repro.config import DEFAULT_CONFIG
 from repro.core.env import VirtualClusterEnv
 from repro.metrics import (
+    format_durability,
     format_failover,
     format_hotpath,
     format_syncer_health,
@@ -24,7 +25,13 @@ from repro.metrics import (
 )
 from repro.telemetry import CORE_FAMILIES
 
-from .engine import ChaosEngine, check_convergence, ha_plan, random_plan
+from .engine import (
+    ChaosEngine,
+    check_convergence,
+    durability_plan,
+    ha_plan,
+    random_plan,
+)
 
 
 def optimized_config(base=None, shards=2, batch_max=8):
@@ -38,7 +45,8 @@ def optimized_config(base=None, shards=2, batch_max=8):
 
 def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         report=False, convergence_timeout=300.0, optimized=True,
-        kill_leader=False, replicas=2, record=False, detect_races=False):
+        kill_leader=False, replicas=2, record=False, detect_races=False,
+        kill_store=False, replicas_store=1, wal_corrupt=False):
     config = optimized_config() if optimized else DEFAULT_CONFIG
     sim = None
     recorder = None
@@ -58,10 +66,15 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         from repro.analysis.racedetect import RaceDetector
 
         RaceDetector(sim)
-    env = VirtualClusterEnv(seed=seed, config=config, sim=sim,
-                            num_virtual_nodes=nodes,
-                            scan_interval=5.0, dws_workers=4, uws_workers=4,
-                            syncer_replicas=replicas if kill_leader else 1)
+    env = VirtualClusterEnv(
+        seed=seed, config=config, sim=sim, num_virtual_nodes=nodes,
+        scan_interval=5.0, dws_workers=4, uws_workers=4,
+        syncer_replicas=replicas if kill_leader else 1,
+        # None (not 1) keeps the default store construction untouched,
+        # so runs without storage flags stay byte-identical to the seed.
+        store_replicas=replicas_store if replicas_store > 1 else None,
+        store_wal=(True if (wal_corrupt and replicas_store <= 1)
+                   else None))
     env.bootstrap()
     handles = [env.run_coroutine(env.create_tenant(f"tenant-{i}"))
                for i in range(tenants)]
@@ -79,6 +92,11 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         # Added after random_plan so the base plan's RNG draws (and so
         # every existing chaos seed) are unchanged.
         ha_plan(engine, horizon=horizon)
+    if kill_store or wal_corrupt:
+        # Likewise after ha_plan: storage faults extend the draw
+        # sequence, never reorder it.
+        durability_plan(engine, horizon=horizon, kill=kill_store,
+                        mid_txn=kill_store, wal_corrupt=wal_corrupt)
     engine.start()
     env.run_for(horizon)
     engine.stop()
@@ -99,6 +117,12 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         print()
         if env.syncer_ha is not None:
             print(format_failover(env.syncer_ha))
+            print()
+        super_store = env.super_cluster.api.store
+        if hasattr(super_store, "replicas") or getattr(
+                super_store, "wal", None) is not None:
+            print(format_durability(super_store,
+                                    title="Store durability (super)"))
             print()
         print(format_telemetry(env.sim.telemetry.snapshot(),
                                title="Telemetry (core families)",
@@ -174,6 +198,20 @@ def main(argv=None):
     parser.add_argument("--replicas", type=int, default=2,
                         help="syncer replicas when --kill-leader is on "
                              "(default 2)")
+    parser.add_argument("--kill-store", action="store_true",
+                        help="replicate the super cluster's etcd "
+                             "(--replicas-store) and add the storage "
+                             "durability fault mix: leader kill -9 "
+                             "(plain and mid-txn), follower lag with "
+                             "stale-read rejection (DESIGN.md §13)")
+    parser.add_argument("--replicas-store", type=int, default=None,
+                        help="store replicas for the super cluster's "
+                             "etcd (WAL streaming + leader election; "
+                             "default 3 with --kill-store, else 1)")
+    parser.add_argument("--wal-corrupt", action="store_true",
+                        help="tear a WAL tail record mid-run; recovery "
+                             "must keep the committed prefix and "
+                             "resync the rest from the leader")
     parser.add_argument("--check-determinism", action="store_true",
                         help="run the chaos config twice with store-event "
                              "recording; on divergence, bisect to the "
@@ -185,6 +223,12 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.replicas < 2:
         parser.error("--replicas must be >= 2")
+    if args.replicas_store is None:
+        args.replicas_store = 3 if args.kill_store else 1
+    if args.replicas_store < 1:
+        parser.error("--replicas-store must be >= 1")
+    if args.kill_store and args.replicas_store < 2:
+        parser.error("--kill-store needs --replicas-store >= 2")
     if args.tenants < 1:
         parser.error("--tenants must be >= 1")
     if args.pods < 0:
@@ -198,13 +242,17 @@ def main(argv=None):
             args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
             horizon=args.horizon, nodes=args.nodes, report=args.report,
             optimized=not args.no_optimized, kill_leader=args.kill_leader,
-            replicas=args.replicas)
+            replicas=args.replicas, kill_store=args.kill_store,
+            replicas_store=args.replicas_store,
+            wal_corrupt=args.wal_corrupt)
         return 0 if ok else 1
     converged, _engine = run(
         args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
         horizon=args.horizon, nodes=args.nodes, report=args.report,
         optimized=not args.no_optimized, kill_leader=args.kill_leader,
-        replicas=args.replicas, detect_races=args.detect_races)
+        replicas=args.replicas, detect_races=args.detect_races,
+        kill_store=args.kill_store, replicas_store=args.replicas_store,
+        wal_corrupt=args.wal_corrupt)
     return 0 if converged else 1
 
 

@@ -18,8 +18,11 @@ from .faults import (
     CrashControlPlane,
     ForcedCompaction,
     KillLeader,
+    KillStore,
     NetworkPartition,
+    ReplicaLag,
     RestoreFromSnapshot,
+    WalCorruption,
     WatchDrop,
     WorkerCrash,
 )
@@ -119,7 +122,8 @@ class ChaosEngine:
             }
             for counter in ("errors_injected", "latency_injected",
                             "streams_dropped", "requests_blocked",
-                            "workers_killed"):
+                            "workers_killed", "stores_killed",
+                            "mid_txn_kills", "lagged", "tails_torn"):
                 value = getattr(fault, counter, None)
                 if value is not None:
                     entry[counter] = value
@@ -315,4 +319,49 @@ def ha_plan(engine, horizon=60.0):
         engine.add(
             OneShot(at=rng.uniform(horizon / 2.0, 0.9 * horizon)),
             RestoreFromSnapshot(env.tenant_operator, rollback_victim))
+    return engine
+
+
+def durability_plan(engine, horizon=60.0, kill=True, mid_txn=True,
+                    wal_corrupt=True):
+    """Storage durability faults (DESIGN.md §13): leader kill -9 (plain
+    and mid-``txn``), follower lag, and a torn WAL tail.
+
+    Like :func:`ha_plan`, always added *after* the other plans so the
+    base RNG draws — and every existing chaos seed — stay byte-identical
+    when durability chaos is off.
+
+    Requires an env built with ``store_replicas >= 2`` (the super
+    cluster's store is a :class:`~repro.storage.ReplicatedStore`); a
+    plain single store gets only the in-place WAL tail tear.
+    """
+    env = engine.env
+    rng = engine.rng
+    store = env.super_cluster.api.store
+    replicated = isinstance(getattr(store, "replicas", None), list)
+    if kill and replicated:
+        # Plain leader kill early; the window end restarts the victim.
+        engine.add(
+            OneShot(at=rng.uniform(horizon / 5.0, horizon / 3.0),
+                    duration=horizon / 5.0),
+            KillStore(store))
+        if mid_txn:
+            # Armed kill: the leader dies between two WAL appends of a
+            # single multi-op txn.  Short arming window; the restart
+            # rides on the window close.
+            engine.add(
+                OneShot(at=rng.uniform(horizon / 2.0, 0.7 * horizon),
+                        duration=horizon / 6.0),
+                KillStore(store, mid_txn=True))
+        engine.add(
+            RandomWindows(mean_gap=horizon / 3.0,
+                          duration_range=(horizon / 20.0, horizon / 8.0),
+                          count=2),
+            ReplicaLag(store, extra_lag=rng.uniform(0.1, 0.5)))
+    if wal_corrupt and (replicated
+                        or getattr(store, "wal", None) is not None):
+        engine.add(
+            OneShot(at=rng.uniform(0.6 * horizon, 0.85 * horizon),
+                    duration=horizon / 8.0),
+            WalCorruption(store))
     return engine

@@ -24,6 +24,16 @@ CrashControlPlane       ``TenantOperator.crash_control_plane()`` (wiped
                         etcd; the operator restores from its snapshot)
 RestoreFromSnapshot     ``EtcdStore.restore()`` on a live tenant CP
                         (rollback; watchers must relist cleanly)
+KillStore               ``ReplicatedStore.kill_leader()`` /
+                        ``arm_kill()`` (kill -9 of the storage leader,
+                        optionally mid-``txn``; a fenced follower must
+                        take over with zero committed-write loss)
+ReplicaLag              ``ReplicatedStore.set_extra_lag()`` (one
+                        follower falls behind; stale reads must be
+                        detectable via the applied revision)
+WalCorruption           ``WriteAheadLog.tear_tail()`` (torn tail
+                        record; recovery keeps the committed prefix
+                        and resyncs the rest from the leader)
 ======================  ==================================================
 
 Faults draw any randomness from the engine RNG handed to ``bind()``.
@@ -299,6 +309,134 @@ class RestoreFromSnapshot(Fault):
         self.injections += 1
         self.rollbacks += 1
         control_plane.api.store.restore(snapshot)
+
+
+class KillStore(Fault):
+    """Kill -9 the replicated storage leader (DESIGN.md §13).
+
+    ``mid_txn=False``: the leader dies at the window open.
+    ``mid_txn=True``: the kill is *armed* instead — the leader dies
+    after K ops inside its next multi-op ``txn`` (K drawn from the
+    engine RNG), i.e. between WAL appends of a single transaction, the
+    worst crash point for atomicity.  Either way a follower must win
+    the store lease, pass the fencing barrier, and serve with zero
+    committed-write loss; the window's ``restore()`` restarts the
+    victim from its own WAL so a later kill has somewhere to fail over.
+    """
+
+    def __init__(self, store, mid_txn=False, max_ops=4, name=None):
+        super().__init__(name=name or (
+            f"killstore:{'midtxn' if mid_txn else 'leader'}"))
+        self.store = store
+        self.mid_txn = mid_txn
+        self.max_ops = max_ops
+        self.stores_killed = 0
+        self.mid_txn_kills = 0
+        self._victim = None
+
+    def inject(self):
+        if self.store.leader is None:
+            return  # leaderless already: nothing to kill
+        self.injections += 1
+        if self.mid_txn:
+            after = self.rng.randrange(self.max_ops)
+            self.store.arm_kill(after, callback=self._on_killed)
+        else:
+            self.stores_killed += 1
+            self._victim = self.store.kill_leader(reason=self.name)
+
+    def _on_killed(self, _store):
+        self.stores_killed += 1
+        self.mid_txn_kills += 1
+
+    def restore(self):
+        victim, self._victim = self._victim, None
+        if victim is not None:
+            self.store.restart_replica(victim)
+        else:
+            # Armed/mid-txn path: an arm that never fired (no txn hit
+            # the window) is defused, and whoever is dead comes back.
+            self.store.disarm_kill()
+            self.store.restart_replica()
+
+
+class ReplicaLag(Fault):
+    """Slow one follower's apply pump by ``extra_lag`` seconds/record.
+
+    While the window is open the follower's applied revision trails the
+    leader's durable revision; ``read_follower(min_revision=...)`` must
+    raise :class:`StaleRead` instead of serving the stale value.  The
+    window close removes the lag and the follower catches up.
+    """
+
+    def __init__(self, store, extra_lag=0.5, name=None):
+        super().__init__(name=name or f"replicalag:{store.name}")
+        self.store = store
+        self.extra_lag = extra_lag
+        self.lagged = 0
+        self._victim = None
+
+    def inject(self):
+        victim = self.store.set_extra_lag(self.extra_lag)
+        if victim is None:
+            return  # no live follower to slow down
+        self.injections += 1
+        self.lagged += 1
+        self._victim = victim
+
+    def restore(self):
+        victim, self._victim = self._victim, None
+        if victim is not None:
+            self.store.set_extra_lag(0.0, index=victim)
+
+
+class WalCorruption(Fault):
+    """Tear the tail record of one store replica's write-ahead log.
+
+    Models a write torn mid-flight by a crash: the victim follower is
+    killed and its last WAL record's payload truncated so the checksum
+    no longer matches.  Recovery (the window's ``restore()``) must
+    detect the tear, truncate to the intact committed prefix, and
+    resync the lost suffix from the leader — corruption is repaired
+    from peers, never replayed into the store.
+
+    On a plain single store (no replica group) the tail is torn in
+    place without a kill; the next recovery exercises the same
+    truncate-to-prefix path.
+    """
+
+    def __init__(self, store, name=None):
+        super().__init__(name=name or f"walcorrupt:{store.name}")
+        self.store = store
+        self.tails_torn = 0
+        self._victim = None
+
+    def inject(self):
+        replicas = getattr(self.store, "replicas", None)
+        if isinstance(replicas, list):
+            followers = [r for r in replicas
+                         if r.alive and r.role == "follower"]
+            if not followers:
+                return
+            victim = self.rng.choice(sorted(followers,
+                                            key=lambda r: r.index))
+            self.store.kill_replica(victim.index, reason=self.name)
+            if victim.store.wal.tear_tail() is not None:
+                self.tails_torn += 1
+            self.injections += 1
+            self._victim = victim.index
+        else:
+            wal = getattr(self.store, "wal", None)
+            if wal is None:
+                return
+            self.injections += 1
+            if wal.tear_tail() is not None:
+                self.tails_torn += 1
+
+    def restore(self):
+        victim, self._victim = self._victim, None
+        if victim is not None:
+            self.store.restart_replica(victim)
 
 
 class WorkerCrash(Fault):

@@ -106,6 +106,42 @@ class SyncerLatency:
 
 
 @dataclass
+class StorageDurability:
+    """WAL + replication for control-plane stores (DESIGN.md §13).
+
+    Defaults keep the seed's pure in-memory single store (no WAL, one
+    replica), so the base RNG sequence and all paper-fidelity runs are
+    byte-identical unless durability is opted into.
+    """
+
+    # Attach a write-ahead log to every control-plane store.  Implied by
+    # replicas > 1 (replication streams WAL records).
+    wal_enabled: bool = False
+    # Store group size; 1 == the seed's single in-memory store.
+    replicas: int = 1
+    wal_segment_records: int = 512
+    # 0 == fsync on every append (etcd default); > 0 batches fsyncs on a
+    # timer and a kill -9 loses the un-synced tail.
+    wal_fsync_interval: float = 0.0
+    # Leader -> follower apply latency per record.
+    replication_delay: float = 0.002
+    # Store-group leader lease: snappier than the syncer's 6 s lease so
+    # storage MTTR stays in the low seconds.
+    lease_duration: float = 3.0
+    lease_renew_interval: float = 1.0
+    lease_retry_interval: float = 0.25
+    lease_jitter: float = 0.2
+
+    @property
+    def replicated(self):
+        return self.replicas > 1
+
+    @property
+    def durable(self):
+        return self.wal_enabled or self.replicas > 1
+
+
+@dataclass
 class KubeletLatency:
     """Real-node kubelet and runtimes."""
 
@@ -148,6 +184,7 @@ class LatencyConfig:
     kubelet: KubeletLatency = field(default_factory=KubeletLatency)
     network: NetworkLatency = field(default_factory=NetworkLatency)
     memory: MemoryModel = field(default_factory=MemoryModel)
+    storage: StorageDurability = field(default_factory=StorageDurability)
 
     def with_overrides(self, **sections):
         """Copy with some sections replaced, e.g. ``with_overrides(syncer=...)``."""

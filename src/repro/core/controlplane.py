@@ -18,7 +18,8 @@ class ControlPlane:
         self.sim = sim
         self.name = name
         self.config = config
-        self.api = APIServer(sim, name, config=config, rbac=rbac)
+        self.api = APIServer(sim, name, config=config, rbac=rbac,
+                             store=_build_store(sim, name, config))
         self.admin = ADMIN
         self.api.authenticator.register(self.admin)
         self._clients = {}
@@ -118,6 +119,36 @@ class SuperCluster(ControlPlane):
         for agent in self.node_agents:
             agent.stop()
         self.started = False
+
+
+def _build_store(sim, name, config):
+    """Construct this control plane's store per ``config.storage``.
+
+    Returns None in the default configuration, so the apiserver builds
+    the seed's plain in-memory :class:`EtcdStore` and default-mode runs
+    stay byte-identical.  With durability opted in, the store gets a
+    write-ahead log; with ``replicas > 1`` it becomes a replicated group
+    with leader election and WAL streaming (DESIGN.md §13).
+    """
+    storage = getattr(config, "storage", None)
+    if storage is None or not storage.durable:
+        return None
+    from repro.storage import EtcdStore, ReplicatedStore, WriteAheadLog
+
+    if storage.replicated:
+        return ReplicatedStore(
+            sim, f"{name}-etcd", replicas=storage.replicas,
+            segment_records=storage.wal_segment_records,
+            fsync_interval=storage.wal_fsync_interval,
+            replication_delay=storage.replication_delay,
+            lease_duration=storage.lease_duration,
+            renew_interval=storage.lease_renew_interval,
+            retry_interval=storage.lease_retry_interval,
+            jitter=storage.lease_jitter)
+    wal = WriteAheadLog(sim, f"{name}-etcd",
+                        segment_records=storage.wal_segment_records,
+                        fsync_interval=storage.wal_fsync_interval)
+    return EtcdStore(sim, name=f"{name}-etcd", wal=wal)
 
 
 def _import_vc_type():

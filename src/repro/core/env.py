@@ -104,10 +104,23 @@ class VirtualClusterEnv:
                  uws_workers=None, scan_interval=None,
                  vc_namespace="vc-manager", sim=None, name="super",
                  circuit_breaker=True, syncer_replicas=1,
-                 warm_standby=True):
+                 warm_standby=True, store_replicas=None, store_wal=None):
         self.sim = sim or Simulation(seed=seed)
         self.name = name
         self.config = config or DEFAULT_CONFIG
+        if store_replicas is not None or store_wal is not None:
+            # Durable-storage opt-in (DESIGN.md §13): every control-plane
+            # store gets a WAL, and with replicas > 1 becomes a
+            # replicated group with leader election.
+            from dataclasses import replace as _replace
+
+            storage = _replace(
+                self.config.storage,
+                replicas=(store_replicas if store_replicas is not None
+                          else self.config.storage.replicas),
+                wal_enabled=(bool(store_wal) if store_wal is not None
+                             else self.config.storage.wal_enabled))
+            self.config = self.config.with_overrides(storage=storage)
         self.vc_namespace = vc_namespace
         self.super_cluster = SuperCluster(self.sim, self.config, name=name)
         self.super_cluster.start()

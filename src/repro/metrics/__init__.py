@@ -2,6 +2,7 @@
 
 from .reporting import (
     format_bucket_table,
+    format_durability,
     format_failover,
     format_histogram,
     format_hotpath,
@@ -15,6 +16,7 @@ from .reporting import (
 
 __all__ = [
     "format_bucket_table",
+    "format_durability",
     "format_failover",
     "format_histogram",
     "format_hotpath",

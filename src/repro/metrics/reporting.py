@@ -131,6 +131,46 @@ def format_failover(ha, title="Syncer HA failover"):
     return "\n".join(lines)
 
 
+def format_durability(store, title="Store durability"):
+    """Render a :class:`~repro.storage.ReplicatedStore` group's health:
+    one row per replica (role, applied revision, lag, WAL size), the
+    recovery log (who died, who took over, MTTR, committed writes
+    lost — the number that must stay 0), and the stale-read counter
+    from the follower-read path (DESIGN.md §13)."""
+    stats = store.stats()
+    rows = []
+    for replica in stats.get("replicas", []):
+        wal = replica["wal"] or {}
+        rows.append([
+            replica["name"], replica["role"],
+            "up" if replica["alive"] else "down",
+            replica["applied_revision"], replica["lag"],
+            replica["records_applied"],
+            wal.get("records", 0), wal.get("torn_records", 0),
+        ])
+    if not rows:
+        rows = [["(single store)", "-", "-", stats.get("revision", 0),
+                 0, 0, 0, 0]]
+    table = format_table(
+        ["replica", "role", "state", "applied", "lag", "streamed",
+         "wal recs", "torn"],
+        rows, title=title)
+    lines = [table]
+    for record in stats.get("recoveries_log", []):
+        mttr = record.get("mttr")
+        lines.append(
+            f"  {record['victim']} died ({record['reason']}) "
+            f"@{record['killed_at']:.2f}s -> {record.get('promoted', '?')} "
+            f"token={record.get('token', '?')} "
+            f"MTTR={'-' if mttr is None else f'{mttr:.3f}s'} "
+            f"lost_writes={record.get('lost_writes', '?')}")
+    lines.append(
+        f"failovers: {stats.get('failovers', 0)}  "
+        f"stale reads rejected: {stats.get('stale_reads', 0)}  "
+        f"store recoveries: {stats.get('recoveries', 0)}")
+    return "\n".join(lines)
+
+
 def summarize(result):
     """One-line summary of a StressResult."""
     return (f"{result.mode}: pods={result.num_pods} "

@@ -1,25 +1,41 @@
 """etcd-like MVCC storage for control planes."""
 
 from .errors import (
+    CompactedError,
     FencingRevoked,
     KeyAlreadyExists,
     KeyNotFound,
     RevisionCompacted,
     RevisionConflict,
+    StaleRead,
     StorageError,
+    StoreUnavailable,
+    WalTornRecord,
 )
 from .etcd import EVENT_DELETE, EVENT_PUT, EtcdStore, Watch, WatchEvent
+from .replicated import ReplicatedStore, StoreReplica, coordinator_of
+from .wal import WalRecord, WalSegment, WriteAheadLog
 
 __all__ = [
     "EVENT_DELETE",
     "EVENT_PUT",
+    "CompactedError",
     "EtcdStore",
     "FencingRevoked",
     "KeyAlreadyExists",
     "KeyNotFound",
+    "ReplicatedStore",
     "RevisionCompacted",
     "RevisionConflict",
+    "StaleRead",
     "StorageError",
+    "StoreReplica",
+    "StoreUnavailable",
+    "WalRecord",
+    "WalSegment",
+    "WalTornRecord",
     "Watch",
     "WatchEvent",
+    "WriteAheadLog",
+    "coordinator_of",
 ]

@@ -44,6 +44,65 @@ class RevisionCompacted(StorageError):
         self.compacted = compacted
 
 
+class CompactedError(StorageError):
+    """Replay would have to cross a compaction boundary.
+
+    Raised when a recovery path (WAL replay into :meth:`EtcdStore.restore`,
+    or a follower catching up from a leader's compacted log) detects a gap
+    between the snapshot revision and the first replayable record.  The
+    caller must fall back to a full snapshot/state transfer — silently
+    skipping the gap would resurrect a store missing committed writes.
+    """
+
+    def __init__(self, snapshot_revision, first_replay_revision):
+        super().__init__(
+            f"replay gap: snapshot at revision {snapshot_revision}, "
+            f"first replayable record at {first_replay_revision}"
+        )
+        self.snapshot_revision = snapshot_revision
+        self.first_replay_revision = first_replay_revision
+
+
+class WalTornRecord(StorageError):
+    """A WAL record failed its checksum (torn tail after kill -9).
+
+    Recovery never surfaces this to callers — the decoder truncates the
+    log at the first torn record, recovering the committed prefix — but
+    direct record decoding raises it so tests and the corruption fault
+    can observe the tear.
+    """
+
+    def __init__(self, lsn, reason="checksum mismatch"):
+        super().__init__(f"torn WAL record at lsn {lsn}: {reason}")
+        self.lsn = lsn
+
+
+class StaleRead(StorageError):
+    """A follower served a read behind the client's required revision.
+
+    Carries the follower's applied revision so the caller can decide to
+    retry against the leader or wait for replication to catch up.
+    """
+
+    def __init__(self, required, applied, replica=""):
+        super().__init__(
+            f"stale read from {replica or 'follower'}: "
+            f"required revision {required}, applied {applied}"
+        )
+        self.required = required
+        self.applied = applied
+        self.replica = replica
+
+
+class StoreUnavailable(StorageError):
+    """The store (or the replica group's leader) is down.
+
+    The apiserver swaps this for its retryable ``ServerUnavailable`` via
+    :meth:`ReplicatedStore.set_unavailable_factory`, so clients treat a
+    leaderless storage window exactly like an apiserver outage.
+    """
+
+
 class FencingRevoked(StorageError):
     """A write carried a fencing token older than the highest one seen.
 

@@ -19,11 +19,13 @@ from repro.objects.base import fast_deep_copy
 from repro.telemetry import telemetry_of
 
 from .errors import (
+    CompactedError,
     FencingRevoked,
     KeyAlreadyExists,
     KeyNotFound,
     RevisionCompacted,
     RevisionConflict,
+    StoreUnavailable,
 )
 
 EVENT_PUT = "PUT"
@@ -94,9 +96,19 @@ class EtcdStore:
     revision fail, as in real etcd).
     """
 
-    def __init__(self, sim, name="etcd", history_limit=100000):
+    def __init__(self, sim, name="etcd", history_limit=100000, wal=None):
         self.sim = sim
         self.name = name
+        # Optional write-ahead log (repro.storage.wal): the disk that
+        # survives a kill -9 while this object's memory does not.  None
+        # (the default) keeps the seed's pure in-memory behavior.
+        self.wal = wal
+        self._powered_off = False
+        self.recoveries = 0
+        # Armed by the chaos KillStore fault: crash after N more txn ops.
+        self._kill_after_ops = None
+        self._on_killed = None
+        self._unavailable_factory = None
         self._data = {}
         # Secondary index: keys bucketed by their first two path segments
         # (e.g. "/registry/pods"), so per-resource range reads don't scan
@@ -133,6 +145,33 @@ class EtcdStore:
         telemetry.gauge("etcd_revision", "store revision",
                         labels=("store",)).labels(
             store=name).set_function(lambda: self._revision)
+        self._recoveries_metric = telemetry.counter(
+            "store_recoveries_total",
+            "store recoveries by source (wal replay / snapshot restore)",
+            labels=("store", "source")).labels(store=name, source="wal")
+
+    # ------------------------------------------------------------------
+    # Liveness (kill -9 surface; see power_off/recover_from_wal below)
+    # ------------------------------------------------------------------
+
+    @property
+    def available(self):
+        return not self._powered_off
+
+    def set_unavailable_factory(self, factory):
+        """Let the apiserver substitute its retryable error type for
+        :class:`StoreUnavailable` (dependency inversion: storage cannot
+        import apiserver errors)."""
+        self._unavailable_factory = factory
+
+    def _unavailable(self, message):
+        if self._unavailable_factory is not None:
+            return self._unavailable_factory(message)
+        return StoreUnavailable(message)
+
+    def _check_alive(self):
+        if self._powered_off:
+            raise self._unavailable(f"{self.name}: store is down")
 
     @staticmethod
     def _bucket_of(key):
@@ -181,6 +220,7 @@ class EtcdStore:
 
     def create(self, key, value):
         """Insert a new key; fails if present. Returns the new revision."""
+        self._check_alive()
         if key in self._data:
             raise KeyAlreadyExists(key)
         self._race_write(key, release=True)
@@ -213,6 +253,7 @@ class EtcdStore:
 
     def update(self, key, value, expected_revision=None):
         """Replace a key's value, optionally as a CAS on mod_revision."""
+        self._check_alive()
         stored = self._data.get(key)
         if stored is None:
             raise KeyNotFound(key)
@@ -233,6 +274,7 @@ class EtcdStore:
 
     def delete(self, key, expected_revision=None):
         """Remove a key, optionally as a CAS on mod_revision."""
+        self._check_alive()
         stored = self._data.get(key)
         if stored is None:
             raise KeyNotFound(key)
@@ -260,6 +302,7 @@ class EtcdStore:
         error capture instead of all-or-nothing abort: the result list
         holds each op's return value or the exception it raised.
         """
+        self._check_alive()
         self.txns += 1
         self.txn_ops += len(ops)
         self.largest_txn = max(self.largest_txn, len(ops))
@@ -267,11 +310,40 @@ class EtcdStore:
         results = []
         with self._tracer.span("etcd.txn", ops=len(ops)):
             for op in ops:
+                if self._kill_after_ops is not None:
+                    if self._kill_after_ops <= 0:
+                        self._kill_mid_txn()
+                    self._kill_after_ops -= 1
                 try:
                     results.append(op())
                 except Exception as exc:  # noqa: BLE001 - captured per op
                     results.append(exc)
         return results
+
+    def arm_kill(self, after_ops, callback=None):
+        """Arm a kill -9 that fires after ``after_ops`` more txn ops.
+
+        The sim cannot preempt synchronous code, so a mid-``txn`` crash
+        is modeled as a latch: the next transaction applies ``after_ops``
+        writes (each durable in the WAL) and then the process dies —
+        already-applied ops are committed, the rest never happen, and the
+        client sees the whole request fail retryably.
+        """
+        self._kill_after_ops = max(0, after_ops)
+        self._on_killed = callback
+
+    def disarm_kill(self):
+        """Clear an armed mid-txn kill that never fired."""
+        self._kill_after_ops = None
+        self._on_killed = None
+
+    def _kill_mid_txn(self):
+        self._kill_after_ops = None
+        callback, self._on_killed = self._on_killed, None
+        self.power_off()
+        if callback is not None:
+            callback(self)
+        raise self._unavailable(f"{self.name}: killed mid-txn")
 
     def list_prefix(self, prefix):
         """All (key, value, mod_revision) under a prefix, plus the revision.
@@ -279,6 +351,7 @@ class EtcdStore:
         Returns ``(items, revision)`` — the revision is the store revision
         at list time, which list+watch reflectors use as their start point.
         """
+        self._check_alive()
         self._race_scan(prefix)
         self._ops_read.inc()
         items = []
@@ -305,6 +378,7 @@ class EtcdStore:
         """
         from repro.simkernel.resources import Channel
 
+        self._check_alive()
         factory = channel_factory or (lambda: Channel(self.sim,
                                                       name=f"watch:{prefix}"))
         channel = factory()
@@ -323,6 +397,13 @@ class EtcdStore:
         recorder = getattr(self.sim, "replay_recorder", None)
         if recorder is not None:
             recorder.record(self.name, event)
+        if self.wal is not None:
+            # The record carries the writer's vector-clock stamp so a
+            # follower (or recovery) applying it absorbs a happens-before
+            # edge from this mutation.
+            detector = getattr(self.sim, "race_detector", None)
+            stamp = detector.current_stamp() if detector is not None else None
+            self.wal.append_event(event, stamp=stamp)
         self._history.append(event)
         if len(self._history) > self._history_limit:
             self.compact(keep=self._history_limit // 2)
@@ -357,7 +438,14 @@ class EtcdStore:
         if current is not None and token < current:
             self.fencing_rejections += 1
             raise FencingRevoked(domain, token, current)
+        advanced = current is None or token > current
         self._fences[domain] = token
+        if advanced and self.wal is not None:
+            # Floor advances are durable: a recovered store must bounce a
+            # deposed leader's stale token just like the one that crashed.
+            detector = getattr(self.sim, "race_detector", None)
+            stamp = detector.current_stamp() if detector is not None else None
+            self.wal.append_fence(domain, token, self._revision, stamp=stamp)
 
     # ------------------------------------------------------------------
     # Snapshot / restore (durability for crashed control planes)
@@ -399,8 +487,23 @@ class EtcdStore:
         (``from_revision`` below the restore point) fail with
         :class:`RevisionCompacted` instead of silently missing events.
 
+        Replay must be gap-free: events apply at consecutive revisions
+        starting from the snapshot, so a tail that begins *above*
+        ``snapshot revision + 1`` (part of it was compacted away) raises
+        :class:`CompactedError` before any state is touched — silently
+        skipping the gap would resurrect a store missing committed
+        writes.  Events at or below the snapshot revision are still
+        skipped (idempotent full-history replay).
+
         Returns the store revision after the restore.
         """
+        expected = snapshot["revision"]
+        for event in replay:
+            if event.revision <= expected:
+                continue
+            if event.revision != expected + 1:
+                raise CompactedError(expected, event.revision)
+            expected = event.revision
         for watch in list(self._watches):
             watch.cancel()
         detector = getattr(self.sim, "race_detector", None)
@@ -422,6 +525,11 @@ class EtcdStore:
             if event.revision > self._revision:
                 self._apply_replayed(event)
         self._compacted_revision = self._revision
+        self._powered_off = False
+        if self.wal is not None:
+            # The log must describe the store it sits under: anchor it to
+            # the post-restore state and drop the divergent tail.
+            self.wal.reset(anchor=self.snapshot())
         return self._revision
 
     def _apply_replayed(self, event):
@@ -477,6 +585,63 @@ class EtcdStore:
         self._revision = 0
         self._compacted_revision = 0
         self._fences = {}
+        self._powered_off = False
+        if self.wal is not None:
+            self.wal.reset()
+
+    def power_off(self):
+        """Kill -9: volatile memory is gone, the WAL (the disk) survives.
+
+        Contrast with :meth:`wipe` (catastrophic loss, WAL included).
+        The store rejects every operation until :meth:`recover_from_wal`
+        or :meth:`restore` brings it back.
+        """
+        if self.wal is not None:
+            self.wal.power_off()
+        for watch in list(self._watches):
+            watch.cancel()
+        detector = getattr(self.sim, "race_detector", None)
+        if detector is not None:
+            detector.reset_object(self.name)
+        self._data = {}
+        self._buckets = {}
+        self._history = []
+        self._revision = 0
+        self._compacted_revision = 0
+        self._fences = {}
+        self._powered_off = True
+
+    def recover_from_wal(self):
+        """Rebuild state from the WAL to the last durable revision.
+
+        Raises :class:`CompactedError` when the log is empty or gapped —
+        the caller falls back to snapshot-only recovery.  Returns the
+        recovered revision.
+        """
+        if self.wal is None or self.wal.is_empty():
+            raise CompactedError(0, 0)
+        # Detach the WAL during replay: restore()/wipe() inside
+        # recover_into must not reset the very log being replayed.
+        wal, self.wal = self.wal, None
+        try:
+            # truncate=True: crash recovery drops the torn/volatile
+            # suffix so post-recovery appends extend a clean log.
+            revision = wal.recover_into(self, truncate=True)
+        finally:
+            self.wal = wal
+        self._powered_off = False
+        self.recoveries += 1
+        self._recoveries_metric.inc()
+        return revision
+
+    def wal_durable_revision(self):
+        return self.wal.durable_revision if self.wal is not None else 0
+
+    def anchor_wal(self, snapshot):
+        """Compact the WAL against a freshly-taken snapshot (no-op when
+        the store has no log)."""
+        if self.wal is not None:
+            self.wal.compact(snapshot)
 
     def dump(self):
         """Canonical detached image of current data (tests/benchmarks)."""
@@ -505,4 +670,6 @@ class EtcdStore:
             "largest_txn": self.largest_txn,
             "fences": dict(self._fences),
             "fencing_rejections": self.fencing_rejections,
+            "recoveries": self.recoveries,
+            "wal": self.wal.stats() if self.wal is not None else None,
         }
