@@ -6,6 +6,7 @@
 #         scripts/tier1.sh --chaos-smoke [seed]
 #         scripts/tier1.sh --telemetry-smoke [seed]
 #         scripts/tier1.sh --durability-smoke [seed]
+#         scripts/tier1.sh --scenario-smoke [corpus-dir]
 #         scripts/tier1.sh --lint
 #
 # Runs the tier1-marked tests (every test except the long soak runs)
@@ -33,6 +34,12 @@
 # same-seed determinism double-run with a 2-replica store; and the
 # durability-marked benchmark suite (crash storm: zero committed-write
 # loss, MTTR within the lease budget, byte-identical convergence).
+#
+# --scenario-smoke verifies the golden scenario corpus (DESIGN.md §14):
+# every scenario under scenarios/corpus replays to its recorded
+# converged-state digest twice in a row (determinism), race-checked
+# scenarios run under the vector-clock detector, and the
+# scenario-marked conformance tests run.  Exit 0 means zero drift.
 #
 # --lint runs the determinism linter (repro.analysis) over src/ in
 # strict mode against the committed allowlist, then the lint-marked
@@ -81,6 +88,17 @@ if [[ "${1:-}" == "--telemetry-smoke" ]]; then
         --nodes 6 --format json --output "$out" --check
     python -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
     echo "tier1: telemetry smoke OK (JSON parses, core families active)" >&2
+    exit 0
+fi
+
+if [[ "${1:-}" == "--scenario-smoke" ]]; then
+    corpus="${2:-scenarios/corpus}"
+    echo "tier1: scenario corpus verify (2x replay vs golden digests)" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.scenarios verify "$corpus"
+    echo "tier1: scenario-marked conformance tests" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -x -q -m scenario
     exit 0
 fi
 

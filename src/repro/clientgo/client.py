@@ -42,6 +42,11 @@ class Client:
         # network partition between this client and its apiserver while
         # the apiserver itself stays up for everyone else.
         self.fault_injector = None
+        # Topology hook (see repro.network.link.NetworkLink): when set,
+        # every request from this client traverses a simulated WAN/edge
+        # uplink — added latency plus probabilistic loss surfaced as a
+        # retryable ServerUnavailable.
+        self.link = None
         # Watch streams this client opened, so a partition can sever them.
         self._watch_streams = []
 
@@ -59,6 +64,8 @@ class Client:
             try:
                 if self.fault_injector is not None:
                     self.fault_injector.check()
+                if self.link is not None:
+                    yield from self.link.traverse()
                 result = yield from op(self.credential, *args, **kwargs)
                 return result
             except Exception as exc:  # noqa: BLE001 - classified below
@@ -117,6 +124,8 @@ class Client:
         """Open a watch (synchronous; server-side registration)."""
         if self.fault_injector is not None:
             self.fault_injector.check()
+        if self.link is not None:
+            self.link.check()
         stream = self.api.watch(self.credential, plural, namespace=namespace,
                                 from_revision=from_revision,
                                 label_selector=label_selector,

@@ -202,18 +202,30 @@ class VirtualClusterEnv:
                 pass
         prefix = "" if self.name == "super" else f"{self.name}-"
         for index in range(self._num_virtual_nodes):
-            yield from self._add_virtual_node(f"{prefix}vk-node-{index:03d}")
+            yield from self.add_virtual_node(f"{prefix}vk-node-{index:03d}")
         for index in range(self._num_real_nodes):
             yield from self._add_real_node(f"{prefix}node-{index:02d}")
 
-    def _add_virtual_node(self, name):
+    def add_virtual_node(self, name, link=None):
+        """Coroutine: add one virtual-kubelet node (bootstrap or runtime).
+
+        ``link`` is an optional :class:`~repro.network.NetworkLink` the
+        node's API client traverses on every request — scenario
+        topologies use it to place whole node pools behind a
+        high-latency or lossy edge uplink (DESIGN.md §14).  Callable
+        mid-run, which is how elastic virtual-kubelet pools stage their
+        joins.
+        """
         client = self.super_cluster.client(
             user_agent=f"vk-{name}", qps=100000, burst=200000)
+        if link is not None:
+            client.link = link
         informers = InformerFactory(self.sim, client)
         vk = VirtualKubelet(self.sim, name, client, self.config, informers)
         yield from vk.start()
         self.virtual_kubelets.append(vk)
         self.super_cluster.node_agents.append(vk)
+        return vk
 
     def _add_real_node(self, name):
         node = make_node(name, internal_ip=f"192.168.1.{len(self.real_kubelets) + 10}")

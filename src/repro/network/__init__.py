@@ -1,7 +1,8 @@
-"""Data-plane substrate: iptables, VPC/ENI, simulated gRPC."""
+"""Data-plane substrate: iptables, VPC/ENI, simulated gRPC, WAN links."""
 
 from .grpc import RpcChannel, RpcError, RpcServer
 from .iptables import IpTables, NatRule
+from .link import NetworkLink
 from .vpc import ConnectivityChecker, Eni, NetworkStack, Vpc
 
 __all__ = [
@@ -9,6 +10,7 @@ __all__ = [
     "Eni",
     "IpTables",
     "NatRule",
+    "NetworkLink",
     "NetworkStack",
     "RpcChannel",
     "RpcError",

@@ -1,0 +1,32 @@
+"""Scenario DSL errors."""
+
+
+class ScenarioError(ValueError):
+    """A scenario file or model failed validation.
+
+    Messages are written to be actionable: they name the YAML path that
+    failed (``tenants[1].workloads[0].shape``), the offending value,
+    and what would be accepted instead.
+    """
+
+
+class GoldenMismatch(AssertionError):
+    """A scenario replayed to a digest different from its recorded golden."""
+
+    def __init__(self, scenario, expected, actual, expected_events=None,
+                 actual_events=None):
+        self.scenario = scenario
+        self.expected = expected
+        self.actual = actual
+        self.expected_events = expected_events
+        self.actual_events = actual_events
+        detail = ""
+        if expected_events is not None and expected_events != actual_events:
+            detail = (f" (store events: recorded {expected_events}, "
+                      f"replayed {actual_events})")
+        super().__init__(
+            f"scenario {scenario!r} diverged from its golden digest: "
+            f"recorded {expected[:16]}…, replayed {actual[:16]}…{detail}. "
+            f"If the behavior change is intentional, re-record with "
+            f"'python -m repro.scenarios record' and explain the drift "
+            f"in the PR.")

@@ -1,6 +1,11 @@
 """Workload generation and stress harnesses for the evaluation."""
 
-from .loadgen import LoadGenerator, TenantLoadPattern, even_split
+from .loadgen import (
+    LoadGenerator,
+    TenantLoadPattern,
+    TimedActions,
+    even_split,
+)
 from .stress import (
     StressResult,
     run_baseline_stress,
@@ -12,6 +17,7 @@ __all__ = [
     "LoadGenerator",
     "StressResult",
     "TenantLoadPattern",
+    "TimedActions",
     "even_split",
     "run_baseline_stress",
     "run_fairness_stress",

@@ -1,0 +1,79 @@
+"""Golden-corpus conformance: every scenario replays to its digest.
+
+Parameterized over ``scenarios/corpus/*.yaml``.  Each test runs the
+scenario once and asserts:
+
+- the converged-state sha256 digest equals the recorded golden (and the
+  store-event count matches — a cheap first differentiator when it
+  doesn't);
+- the declared expectations hold (convergence, pod floors, telemetry
+  bounds, race cleanliness for race-checked scenarios).
+
+Everything here carries the ``scenario`` marker (excluded from the
+tier-1 auto-marking); the scenarios whose YAML says ``tier1: true``
+additionally run in the tier-1 gate, giving it a fast three-scenario
+conformance smoke.  The determinism double-replay lives in
+``python -m repro.scenarios verify`` (and ``scripts/tier1.sh
+--scenario-smoke``); here each file runs once to keep plain ``pytest``
+wall-clock sane.
+"""
+
+import os
+
+import pytest
+
+from repro.scenarios import corpus_paths, load_scenario, run_scenario
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                          "scenarios", "corpus")
+
+
+def _corpus_params():
+    params = []
+    for path in corpus_paths(os.path.abspath(CORPUS_DIR)):
+        scenario = load_scenario(path)
+        marks = [pytest.mark.scenario]
+        if scenario.tier1:
+            marks.append(pytest.mark.tier1)
+        params.append(pytest.param(path, id=scenario.name,
+                                   marks=tuple(marks)))
+    return params
+
+
+@pytest.mark.parametrize("path", _corpus_params())
+def test_scenario_matches_golden(path):
+    scenario = load_scenario(path)
+    assert scenario.golden is not None, (
+        f"{os.path.basename(path)} has no golden block; run "
+        f"'python -m repro.scenarios record {path}'")
+    result = run_scenario(scenario)
+    assert result.failures == [], (
+        f"{scenario.name} failed expectations: {result.failures}")
+    assert result.store_events == scenario.golden.store_events, (
+        f"{scenario.name} emitted {result.store_events} store events, "
+        f"golden recorded {scenario.golden.store_events}")
+    assert result.digest == scenario.golden.digest, (
+        f"{scenario.name} diverged from its golden digest "
+        f"(recorded {scenario.golden.digest[:16]}…, replayed "
+        f"{result.digest[:16]}…); if intentional, re-record with "
+        f"'python -m repro.scenarios record {path}'")
+
+
+@pytest.mark.scenario
+def test_corpus_covers_required_axes():
+    """The corpus must keep exercising every axis the DSL claims."""
+    scenarios = [load_scenario(path)
+                 for path in corpus_paths(os.path.abspath(CORPUS_DIR))]
+    assert len(scenarios) >= 10
+    kinds = {w.shape.kind for s in scenarios
+             for t in s.tenants for w in t.workloads}
+    assert {"constant", "diurnal", "flash-crowd", "burst", "sequential",
+            "rolling-upgrade"} <= kinds
+    assert any(p.link is not None for s in scenarios
+               for p in s.topology.pools), "no edge-link scenario"
+    assert any(p.elastic is not None for s in scenarios
+               for p in s.topology.pools), "no elastic-pool scenario"
+    assert any(s.chaos for s in scenarios), "no chaos-overlay scenario"
+    assert any(s.race_check for s in scenarios), "no race-checked scenario"
+    assert sum(1 for s in scenarios if s.tier1) >= 3
+    assert all(s.golden is not None for s in scenarios)

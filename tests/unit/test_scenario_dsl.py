@@ -1,0 +1,288 @@
+"""Unit tests for scenario DSL validation and compilation.
+
+The DSL's contract is that *every* authoring mistake fails eagerly with
+a message naming the YAML path, the offending value, and what would be
+accepted — never a mid-run stack trace.  These tests pin that contract
+for the error classes ISSUE-level users actually hit (unknown shape,
+duplicate names, negative rates, overlapping chaos windows, …) plus the
+pure-compilation semantics the runner depends on.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    BurstShape,
+    ChaosSpec,
+    ConstantShape,
+    LinkSpec,
+    PoolSpec,
+    RollingUpgradeShape,
+    Scenario,
+    ScenarioError,
+    ScheduleSpec,
+    SequentialShape,
+    TenantSpec,
+    TopologySpec,
+    WorkloadSpec,
+    compile_load,
+    loads,
+)
+
+
+def minimal_yaml(**overrides):
+    base = {
+        "tenants": ("tenants:\n"
+                    "  - name: acme\n"
+                    "    workloads:\n"
+                    "      - name: web\n"
+                    "        shape: {type: constant, rate: 1.0, "
+                    "duration: 5.0}\n"),
+        "chaos": "",
+    }
+    base.update(overrides)
+    return ("name: test\n"
+            "seed: 1\n"
+            "horizon: 20.0\n"
+            "topology:\n"
+            "  pools:\n"
+            "    - {name: pool, nodes: 2}\n"
+            + base["tenants"] + base["chaos"])
+
+
+def build_scenario(**kwargs):
+    defaults = dict(
+        name="test", seed=1, horizon=20.0,
+        topology=TopologySpec(pools=[PoolSpec("pool", nodes=2)]),
+        tenants=[TenantSpec("acme", workloads=[
+            WorkloadSpec("web", ConstantShape(rate=1.0, duration=5.0))])])
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestShapeValidation:
+    def test_unknown_shape_type_lists_valid_ones(self):
+        text = minimal_yaml(tenants=(
+            "tenants:\n"
+            "  - name: acme\n"
+            "    workloads:\n"
+            "      - name: web\n"
+            "        shape: {type: sawtooth}\n"))
+        with pytest.raises(ScenarioError) as excinfo:
+            loads(text)
+        message = str(excinfo.value)
+        assert "tenants[0].workloads[0].shape" in message
+        assert "'sawtooth'" in message
+        assert "constant" in message and "diurnal" in message
+
+    def test_unknown_shape_parameter_is_named(self):
+        with pytest.raises(ScenarioError, match=r"rte.*valid.*rate"):
+            loads(minimal_yaml(tenants=(
+                "tenants:\n"
+                "  - name: acme\n"
+                "    workloads:\n"
+                "      - name: web\n"
+                "        shape: {type: constant, rte: 1.0, "
+                "duration: 5.0}\n")))
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(ScenarioError, match="missing a required"):
+            loads(minimal_yaml(tenants=(
+                "tenants:\n"
+                "  - name: acme\n"
+                "    workloads:\n"
+                "      - name: web\n"
+                "        shape: {type: constant, rate: 1.0}\n")))
+
+    def test_negative_rate_message_is_actionable(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            ConstantShape(rate=-2.0, duration=5.0).validate("here")
+        assert "here" in str(excinfo.value)
+        assert "-2.0" in str(excinfo.value)
+
+    def test_flash_crowd_spike_must_fit_duration(self):
+        with pytest.raises(ScenarioError, match="does not fit"):
+            loads(minimal_yaml(tenants=(
+                "tenants:\n"
+                "  - name: acme\n"
+                "    workloads:\n"
+                "      - name: web\n"
+                "        shape: {type: flash-crowd, base_rate: 1.0,\n"
+                "                peak_rate: 5.0, at: 8.0, ramp: 2.0,\n"
+                "                hold: 4.0, duration: 10.0}\n")))
+
+    def test_rolling_upgrade_wave_before_fleet_deployed(self):
+        with pytest.raises(ScenarioError, match="finishes deploying"):
+            RollingUpgradeShape(count=10, startup_rate=1.0, batch=2,
+                                interval=2.0, waves=3,
+                                first_wave=5.0).validate("shape")
+
+
+class TestStructuralValidation:
+    def test_duplicate_tenant_name(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            build_scenario(tenants=[
+                TenantSpec("acme", workloads=[
+                    WorkloadSpec("a", BurstShape(count=2))]),
+                TenantSpec("acme", workloads=[
+                    WorkloadSpec("b", BurstShape(count=2))]),
+            ]).validate()
+        message = str(excinfo.value)
+        assert "tenants[1]" in message and "duplicate tenant" in message
+
+    def test_duplicate_workload_name_within_tenant(self):
+        with pytest.raises(ScenarioError, match="duplicate workload"):
+            build_scenario(tenants=[TenantSpec("acme", workloads=[
+                WorkloadSpec("web", BurstShape(count=2)),
+                WorkloadSpec("web", BurstShape(count=2)),
+            ])]).validate()
+
+    def test_duplicate_pool_name(self):
+        with pytest.raises(ScenarioError, match="duplicate pool"):
+            build_scenario(topology=TopologySpec(pools=[
+                PoolSpec("pool", nodes=1),
+                PoolSpec("pool", nodes=2)])).validate()
+
+    def test_workload_must_fit_horizon(self):
+        with pytest.raises(ScenarioError, match="horizon"):
+            build_scenario(horizon=4.0).validate()
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ScenarioError, match="node pool"):
+            build_scenario(topology=TopologySpec(pools=[])).validate()
+
+    def test_link_loss_bounded(self):
+        with pytest.raises(ScenarioError, match="loss"):
+            build_scenario(topology=TopologySpec(pools=[
+                PoolSpec("pool", nodes=2,
+                         link=LinkSpec(loss=0.5))])).validate()
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ScenarioError, match="unknown key"):
+            loads(minimal_yaml() + "surprise: true\n")
+
+
+class TestChaosValidation:
+    def test_unknown_fault_lists_catalog(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            build_scenario(chaos=[ChaosSpec(
+                "meteor-strike", "acme",
+                ScheduleSpec("oneshot", at=1.0))]).validate()
+        message = str(excinfo.value)
+        assert "meteor-strike" in message
+        assert "apiserver-crash" in message and "partition" in message
+
+    def test_target_must_be_declared_tenant(self):
+        with pytest.raises(ScenarioError, match="not a declared tenant"):
+            build_scenario(chaos=[ChaosSpec(
+                "partition", "ghost",
+                ScheduleSpec("oneshot", at=1.0))]).validate()
+
+    def test_fault_target_kind_enforced(self):
+        # worker-crash only targets the syncer, never a tenant.
+        with pytest.raises(ScenarioError, match="syncer"):
+            build_scenario(chaos=[ChaosSpec(
+                "worker-crash", "acme",
+                ScheduleSpec("oneshot", at=1.0))]).validate()
+
+    def test_unknown_fault_param_named(self):
+        with pytest.raises(ScenarioError, match="blast_radius"):
+            build_scenario(chaos=[ChaosSpec(
+                "watch-drop", "acme", ScheduleSpec("oneshot", at=1.0),
+                params={"blast_radius": 3})]).validate()
+
+    def test_overlapping_oneshot_windows_same_fault_target(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            build_scenario(chaos=[
+                ChaosSpec("apiserver-crash", "acme",
+                          ScheduleSpec("oneshot", at=5.0, duration=4.0)),
+                ChaosSpec("apiserver-crash", "acme",
+                          ScheduleSpec("oneshot", at=7.0, duration=4.0)),
+            ]).validate()
+        message = str(excinfo.value)
+        assert "overlapping" in message
+        assert "chaos[0]" in message and "chaos[1]" in message
+
+    def test_oneshot_overlapping_periodic_window(self):
+        # Periodic windows open at offset + k*period (+ accumulated
+        # durations); one-shot at t=10 for 3s collides with the second
+        # periodic window [10, 11).
+        with pytest.raises(ScenarioError, match="overlapping"):
+            build_scenario(chaos=[
+                ChaosSpec("apiserver-crash", "acme",
+                          ScheduleSpec("periodic", period=4.5,
+                                       duration=1.0, count=2)),
+                ChaosSpec("apiserver-crash", "acme",
+                          ScheduleSpec("oneshot", at=9.5, duration=3.0)),
+            ]).validate()
+
+    def test_distinct_targets_may_overlap(self):
+        build_scenario(
+            tenants=[
+                TenantSpec("acme", workloads=[
+                    WorkloadSpec("a", BurstShape(count=2))]),
+                TenantSpec("beta", workloads=[
+                    WorkloadSpec("b", BurstShape(count=2))]),
+            ],
+            chaos=[
+                ChaosSpec("apiserver-crash", "acme",
+                          ScheduleSpec("oneshot", at=5.0, duration=4.0)),
+                ChaosSpec("apiserver-crash", "beta",
+                          ScheduleSpec("oneshot", at=6.0, duration=4.0)),
+            ]).validate()
+
+    def test_unbounded_periodic_rejected(self):
+        with pytest.raises(ScenarioError, match="count"):
+            ScheduleSpec("periodic", period=5.0).validate("chaos[0]")
+
+    def test_random_schedule_skips_overlap_check(self):
+        build_scenario(chaos=[
+            ChaosSpec("apiserver-crash", "acme",
+                      ScheduleSpec("random", mean_gap=5.0, count=2)),
+            ChaosSpec("apiserver-crash", "acme",
+                      ScheduleSpec("oneshot", at=5.0, duration=4.0)),
+        ]).validate()
+
+
+class TestCompilation:
+    def test_sequential_maps_to_closed_loop_pattern(self):
+        scenario = build_scenario(tenants=[TenantSpec("acme", workloads=[
+            WorkloadSpec("ops", SequentialShape(count=4, think=0.5),
+                         start=2.0)])]).validate()
+        (job,) = compile_load(scenario)
+        assert job.actions is None
+        assert job.plan.mode == "sequential"
+        assert job.plan.count == 4
+        assert job.start == 2.0
+
+    def test_start_offset_folded_into_timed_actions(self):
+        scenario = build_scenario(tenants=[TenantSpec("acme", workloads=[
+            WorkloadSpec("spike", BurstShape(count=3, at=1.0),
+                         start=4.0)])]).validate()
+        (job,) = compile_load(scenario)
+        assert job.start == 0.0
+        assert [when for when, _op, _i in job.actions] == [5.0, 5.0, 5.0]
+        assert job.plan.concurrent is True
+
+    def test_rolling_upgrade_actions_interleave_creates_and_replaces(self):
+        shape = RollingUpgradeShape(count=4, startup_rate=2.0, batch=2,
+                                    interval=3.0, waves=2, first_wave=3.0)
+        actions, concurrent = shape.compile(None)
+        assert concurrent is False
+        ops = [op for _w, op, _i in actions]
+        assert ops.count("create") == 4
+        assert ops.count("replace") == 4
+        # Waves walk the fleet round-robin.
+        replace_indices = [i for _w, op, i in actions if op == "replace"]
+        assert replace_indices == [0, 1, 2, 3]
+
+    def test_jitter_draws_differ_across_workloads_but_not_runs(self):
+        scenario = build_scenario(tenants=[TenantSpec("acme", workloads=[
+            WorkloadSpec("a", ConstantShape(rate=2.0, duration=5.0),
+                         jitter=0.1),
+            WorkloadSpec("b", ConstantShape(rate=2.0, duration=5.0),
+                         jitter=0.1)])]).validate()
+        first, second = compile_load(scenario), compile_load(scenario)
+        assert first[0].actions == second[0].actions
+        assert first[1].actions == second[1].actions
+        # Same shape, same jitter — but workload-derived seeds differ.
+        assert first[0].actions != first[1].actions
