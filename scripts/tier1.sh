@@ -7,6 +7,7 @@
 #         scripts/tier1.sh --telemetry-smoke [seed]
 #         scripts/tier1.sh --durability-smoke [seed]
 #         scripts/tier1.sh --scenario-smoke [corpus-dir]
+#         scripts/tier1.sh --apf-smoke [seed]
 #         scripts/tier1.sh --lint
 #
 # Runs the tier1-marked tests (every test except the long soak runs)
@@ -40,6 +41,13 @@
 # converged-state digest twice in a row (determinism), race-checked
 # scenarios run under the vector-clock detector, and the
 # scenario-marked conformance tests run.  Exit 0 means zero drift.
+#
+# --apf-smoke runs the overload/tiering gate (DESIGN.md §15): a seeded
+# chaos run with APF admission + the scale-to-zero swapper enabled and
+# a free-tier TenantStorm at the front door (the run must converge with
+# the storm shed, not served); a same-seed determinism double-run with
+# both features on; and the apf-marked suite (admission, swap state
+# machine, Retry-After plumbing, fairness properties).
 #
 # --lint runs the determinism linter (repro.analysis) over src/ in
 # strict mode against the committed allowlist, then the lint-marked
@@ -99,6 +107,22 @@ if [[ "${1:-}" == "--scenario-smoke" ]]; then
     echo "tier1: scenario-marked conformance tests" >&2
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python -m pytest -x -q -m scenario
+    exit 0
+fi
+
+if [[ "${1:-}" == "--apf-smoke" ]]; then
+    seed="${2:-0}"
+    echo "tier1: apf smoke (seed=$seed), tenant storm under APF + swapper" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --seed "$seed" --horizon 30 \
+        --apf --tenant-storm
+    echo "tier1: apf smoke (seed=$seed), determinism with APF + swapper" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --seed "$seed" --horizon 25 \
+        --check-determinism --apf --tenant-storm
+    echo "tier1: apf-marked suite" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -x -q -m apf
     exit 0
 fi
 

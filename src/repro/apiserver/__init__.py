@@ -32,6 +32,7 @@ from .errors import (
     Unauthorized,
     is_retryable,
 )
+from .apf import APFLimiter, FlowClassifier, TIER_RANK
 from .ratelimit import MaxInflightLimiter, TokenBucket
 from .registry import ResourceRegistry
 from .server import APIServer, WatchStream

@@ -105,7 +105,7 @@ class APIServer:
 
     def __init__(self, sim, name, config=None, store=None, registry=None,
                  authorizer=None, admission_plugins=None, rbac=False,
-                 per_user_inflight=None):
+                 per_user_inflight=None, apf=None):
         self.sim = sim
         self.name = name
         self.config = config or DEFAULT_CONFIG
@@ -137,15 +137,24 @@ class APIServer:
         self._inflight = MaxInflightLimiter(
             sim, self.config.apiserver.max_inflight,
             name=f"{name}-inflight")
-        # Optional API Priority & Fairness: per-user concurrency shares.
+        # Legacy per-user concurrency shares (Fig. 1 ablation).
         self._apf = None
         if per_user_inflight is not None:
             from .ratelimit import PerUserInflightLimiter
 
             self._apf = PerUserInflightLimiter(
                 sim, per_user_inflight, name=f"{name}-apf")
+        # Tiered priority-and-fairness admission (DESIGN.md §15): an
+        # APFLimiter classifying requests into per-tier levels with
+        # shuffle-shard queues and Retry-After shedding.  None (the
+        # default) keeps the seed's request path byte-identical.
+        self.apf = apf
         self._watch_streams = []
         self.request_count = 0
+        # Requests from tenant users (not system:masters infrastructure):
+        # what the idle swapper treats as activity, so syncer heartbeats
+        # don't keep a tenant-idle control plane resident.
+        self.user_request_count = 0
         self.healthy = True
         telemetry = telemetry_of(sim)
         self._tracer = telemetry.tracer
@@ -186,10 +195,11 @@ class APIServer:
     # ------------------------------------------------------------------
 
     def _begin(self, credential, verb, plural, namespace=None, name=None):
-        """Common request front half: authn, authz, overhead charge.
+        """Common request front half: authn, authz, admission, overhead.
 
-        Returns ``(credential, span)``; the span covers the whole
-        request (queueing included) and is finished by :meth:`_release`.
+        Returns ``(credential, span, ticket)``; the span covers the
+        whole request (queueing included) and both span and APF ticket
+        are settled by :meth:`_release`.
         """
         if not self.healthy:
             from .errors import ServerUnavailable
@@ -204,12 +214,24 @@ class APIServer:
         self.request_count += 1
         self._requests_total.labels(server=self.name, verb=verb).inc()
         span = self._span_start(verb)
+        ticket = None
         try:
-            if self.swap_state is not None:
-                yield from self.swap_state.ensure_awake()
             credential = self.authenticator.authenticate(credential)
             self.authorizer.authorize(credential, verb, plural, namespace,
                                       name)
+            is_system = "system:masters" in credential.groups
+            if not is_system:
+                self.user_request_count += 1
+            if self.apf is not None:
+                # Tiered admission: may queue (bounded) or shed with a
+                # structured 429 before any seat or wake cost is paid.
+                ticket = yield from self.apf.acquire(credential, verb,
+                                                     plural)
+            if self.swap_state is not None and not is_system:
+                # System traffic (syncer heartbeats, controller scans) is
+                # served from the residual resident set; only tenant
+                # traffic pages a swapped control plane back in.
+                yield from self.swap_state.ensure_awake()
             if self._apf is not None:
                 yield self._apf.acquire(credential.user)
             yield self._inflight.acquire()
@@ -217,17 +239,22 @@ class APIServer:
                 yield self.sim.timeout(
                     self.config.apiserver.request_overhead)
             except BaseException:
-                self._release(credential)  # span finished below
+                self._release(credential, ticket=ticket)  # span below
+                ticket = None
                 raise
         except BaseException:
+            if ticket is not None:
+                self.apf.release(ticket)
             self._span_finish(span, error=True)
             raise
-        return credential, span
+        return credential, span, ticket
 
-    def _release(self, credential, span=None):
+    def _release(self, credential, span=None, ticket=None):
         self._inflight.release()
         if self._apf is not None:
             self._apf.release(credential.user)
+        if ticket is not None:
+            self.apf.release(ticket)
         self._span_finish(span)
 
     def _span_start(self, verb):
@@ -288,7 +315,7 @@ class APIServer:
     def create(self, credential, obj, namespace=None):
         """Coroutine: persist a new object; returns the stored copy."""
         obj = self._prepare_create(obj, namespace)
-        credential, span = yield from self._begin(
+        credential, span, ticket = yield from self._begin(
             credential, "create", type(obj).PLURAL, obj.metadata.namespace,
             obj.metadata.name)
         try:
@@ -296,13 +323,13 @@ class APIServer:
             yield self.sim.timeout(self.config.apiserver.etcd_write)
             return obj
         finally:
-            self._release(credential, span)
+            self._release(credential, span, ticket)
 
     def get(self, credential, plural, name, namespace=None):
         """Coroutine: fetch one object; raises NotFound."""
         obj_type = self.registry.get(plural)
-        credential, span = yield from self._begin(credential, "get", plural,
-                                                  namespace, name)
+        credential, span, ticket = yield from self._begin(
+            credential, "get", plural, namespace, name)
         try:
             key = self._key(obj_type, namespace, name)
             try:
@@ -312,7 +339,7 @@ class APIServer:
             yield self.sim.timeout(self.config.apiserver.etcd_read)
             return self._decode(obj_type, raw, revision)
         finally:
-            self._release(credential, span)
+            self._release(credential, span, ticket)
 
     def list(self, credential, plural, namespace=None, label_selector=None,
              field_selector=None):
@@ -320,8 +347,8 @@ class APIServer:
         from repro.objects.selectors import match_fields
 
         obj_type = self.registry.get(plural)
-        credential, span = yield from self._begin(credential, "list",
-                                                  plural, namespace)
+        credential, span, ticket = yield from self._begin(
+            credential, "list", plural, namespace)
         try:
             prefix = self._prefix(obj_type, namespace)
             raw_items, revision = self.store.list_prefix(prefix)
@@ -339,7 +366,7 @@ class APIServer:
                 items.append(obj)
             return items, str(revision)
         finally:
-            self._release(credential, span)
+            self._release(credential, span, ticket)
 
     def update(self, credential, obj, subresource=None):
         """Coroutine: replace an object (CAS on its resourceVersion).
@@ -347,7 +374,7 @@ class APIServer:
         ``subresource="status"`` replaces only the status block, like the
         real ``/status`` subresource used by kubelets and controllers.
         """
-        credential, span = yield from self._begin(
+        credential, span, ticket = yield from self._begin(
             credential, "update", type(obj).PLURAL, obj.metadata.namespace,
             obj.metadata.name)
         try:
@@ -356,7 +383,7 @@ class APIServer:
             yield self.sim.timeout(self.config.apiserver.etcd_write)
             return new_obj
         finally:
-            self._release(credential, span)
+            self._release(credential, span, ticket)
 
     def _update_core(self, credential, obj, subresource=None):
         """CAS-check, admit and store an update (synchronous)."""
@@ -424,14 +451,14 @@ class APIServer:
 
     def delete(self, credential, plural, name, namespace=None):
         """Coroutine: delete an object (honouring finalizers)."""
-        credential, span = yield from self._begin(credential, "delete",
-                                                  plural, namespace, name)
+        credential, span, ticket = yield from self._begin(
+            credential, "delete", plural, namespace, name)
         try:
             obj = self._delete_core(credential, plural, name, namespace)
             yield self.sim.timeout(self.config.apiserver.etcd_write)
             return obj
         finally:
-            self._release(credential, span)
+            self._release(credential, span, ticket)
 
     def _delete_core(self, credential, plural, name, namespace=None):
         """Delete or mark-for-finalization (synchronous)."""
@@ -504,15 +531,15 @@ class APIServer:
         if not ops:
             if fencing is None:
                 return []
-            credential, span = yield from self._begin(credential, "update",
-                                                      "leases")
+            credential, span, ticket = yield from self._begin(
+                credential, "update", "leases")
             try:
                 self._check_fence(fencing)
                 yield self.sim.timeout(self.config.apiserver.etcd_write)
                 return []
             finally:
-                self._release(credential, span)
-        credential, span = yield from self._begin(
+                self._release(credential, span, ticket)
+        credential, span, ticket = yield from self._begin(
             credential, ops[0][0], self._op_plural(ops[0]))
         try:
             # Per-op chaos checks, so a fault targeting e.g. pod creates
@@ -537,7 +564,7 @@ class APIServer:
                                    + cfg.etcd_txn_per_op * len(ops))
             return results
         finally:
-            self._release(credential, span)
+            self._release(credential, span, ticket)
 
     def _check_fence(self, fencing):
         """Validate a (domain, token) pair against the store's fence

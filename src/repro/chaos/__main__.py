@@ -17,9 +17,11 @@ from dataclasses import replace
 from repro.config import DEFAULT_CONFIG
 from repro.core.env import VirtualClusterEnv
 from repro.metrics import (
+    format_apf,
     format_durability,
     format_failover,
     format_hotpath,
+    format_swapper,
     format_syncer_health,
     format_telemetry,
 )
@@ -31,6 +33,7 @@ from .engine import (
     durability_plan,
     ha_plan,
     random_plan,
+    storm_plan,
 )
 
 
@@ -46,8 +49,17 @@ def optimized_config(base=None, shards=2, batch_max=8):
 def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         report=False, convergence_timeout=300.0, optimized=True,
         kill_leader=False, replicas=2, record=False, detect_races=False,
-        kill_store=False, replicas_store=1, wal_corrupt=False):
+        kill_store=False, replicas_store=1, wal_corrupt=False,
+        apf=False, tenant_storm=False):
     config = optimized_config() if optimized else DEFAULT_CONFIG
+    if apf:
+        # Admission control + scale-to-zero are opt-in (DESIGN.md §15);
+        # without --apf the config object is untouched, so existing
+        # chaos seeds stay byte-identical.
+        config = config.with_overrides(
+            apf=replace(config.apf, enabled=True),
+            swapper=replace(config.swapper, enabled=True,
+                            idle_threshold=10.0, check_interval=2.0))
     sim = None
     recorder = None
     if record or detect_races:
@@ -97,6 +109,9 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
         # sequence, never reorder it.
         durability_plan(engine, horizon=horizon, kill=kill_store,
                         mid_txn=kill_store, wal_corrupt=wal_corrupt)
+    if tenant_storm:
+        # Always appended last, so base chaos seeds keep their draw order.
+        storm_plan(engine, horizon=horizon)
     engine.start()
     env.run_for(horizon)
     engine.stop()
@@ -123,6 +138,12 @@ def run(seed, tenants=2, pods_per_tenant=3, horizon=40.0, nodes=3,
                 super_store, "wal", None) is not None:
             print(format_durability(super_store,
                                     title="Store durability (super)"))
+            print()
+        if env.super_cluster.apf is not None:
+            print(format_apf(env.super_cluster.apf))
+            print()
+        if env.swapper is not None:
+            print(format_swapper(env.swapper))
             print()
         print(format_telemetry(env.sim.telemetry.snapshot(),
                                title="Telemetry (core families)",
@@ -216,6 +237,17 @@ def main(argv=None):
                         help="run the chaos config twice with store-event "
                              "recording; on divergence, bisect to the "
                              "first divergent event (repro.analysis)")
+    parser.add_argument("--apf", action="store_true",
+                        help="enable APF admission control (tenant "
+                             "tiers, shuffle-shard fair queues, 429 + "
+                             "Retry-After shedding) and the "
+                             "scale-to-zero idle swapper on the super "
+                             "cluster (DESIGN.md §15)")
+    parser.add_argument("--tenant-storm", action="store_true",
+                        help="append the TenantStorm fault: one "
+                             "free-tier tenant floods the super "
+                             "apiserver with LISTs; APF must shed it "
+                             "while other tiers keep converging")
     parser.add_argument("--detect-races", action="store_true",
                         help="run under the vector-clock race detector; "
                              "any unordered cross-process store/cache "
@@ -244,7 +276,8 @@ def main(argv=None):
             optimized=not args.no_optimized, kill_leader=args.kill_leader,
             replicas=args.replicas, kill_store=args.kill_store,
             replicas_store=args.replicas_store,
-            wal_corrupt=args.wal_corrupt)
+            wal_corrupt=args.wal_corrupt, apf=args.apf,
+            tenant_storm=args.tenant_storm)
         return 0 if ok else 1
     converged, _engine = run(
         args.seed, tenants=args.tenants, pods_per_tenant=args.pods,
@@ -252,7 +285,8 @@ def main(argv=None):
         optimized=not args.no_optimized, kill_leader=args.kill_leader,
         replicas=args.replicas, detect_races=args.detect_races,
         kill_store=args.kill_store, replicas_store=args.replicas_store,
-        wal_corrupt=args.wal_corrupt)
+        wal_corrupt=args.wal_corrupt, apf=args.apf,
+        tenant_storm=args.tenant_storm)
     return 0 if converged else 1
 
 

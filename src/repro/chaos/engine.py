@@ -22,6 +22,7 @@ from .faults import (
     NetworkPartition,
     ReplicaLag,
     RestoreFromSnapshot,
+    TenantStorm,
     WalCorruption,
     WatchDrop,
     WorkerCrash,
@@ -364,4 +365,33 @@ def durability_plan(engine, horizon=60.0, kill=True, mid_txn=True,
             OneShot(at=rng.uniform(0.6 * horizon, 0.85 * horizon),
                     duration=horizon / 8.0),
             WalCorruption(store))
+    return engine
+
+
+def storm_plan(engine, horizon=60.0, qps=400.0, tier="free"):
+    """An abusive-tenant front-door storm (DESIGN.md §15).
+
+    Like :func:`ha_plan` and :func:`durability_plan`, always added
+    *after* the other plans so the base RNG draws — and every existing
+    chaos seed — stay byte-identical when the storm is off.
+
+    One tenant identity (named after a random existing tenant, or a
+    synthetic abuser when the env has none) floods the super apiserver
+    in two windows across the run.  With APF enabled the storm should
+    shed at the free tier while system traffic stays exempt; without it
+    the storm competes for the shared inflight pool.
+    """
+    env = engine.env
+    rng = engine.rng
+    tenant_keys = sorted(env.tenants)
+    if tenant_keys:
+        abuser = env.tenants[rng.choice(tenant_keys)].name
+    else:
+        abuser = "abuser"
+    engine.add(
+        RandomWindows(mean_gap=horizon / 3.0,
+                      duration_range=(horizon / 8.0, horizon / 4.0),
+                      count=2),
+        TenantStorm(env.super_cluster, user=f"storm-{abuser}",
+                    qps=qps, concurrency=200, tier=tier))
     return engine

@@ -462,3 +462,84 @@ class WorkerCrash(Fault):
             if process is not None:
                 self.workers_killed += 1
                 process.interrupt(f"{self.name}: chaos kill")
+
+
+class TenantStorm(Fault):
+    """One tenant floods the super apiserver at many times normal QPS.
+
+    Unlike the other faults this hooks nothing: the storm *is* ordinary
+    (abusive) client traffic — ``concurrency`` flooder processes issuing
+    list requests as ``user`` at an aggregate ``qps`` against the super
+    apiserver, exactly the noisy-neighbor front-door pressure APF
+    admission (DESIGN.md §15) exists to absorb.  The abuser is impatient:
+    ``max_retries=0`` and no client-side throttle, so shed requests
+    surface immediately and are counted in ``requests_shed``.
+
+    ``tier`` optionally registers the user with the server's APF
+    classifier (an abusive *free* tenant is the headline case); without
+    APF the storm still runs and simply competes for the shared
+    max-inflight pool — the degradation the seed exhibits.
+    """
+
+    def __init__(self, super_cluster, user="tenant-storm", qps=300.0,
+                 concurrency=8, plural="pods", namespace="default",
+                 tier=None, name=None):
+        super().__init__(name=name or f"storm:{user}")
+        self.super_cluster = super_cluster
+        self.user = user
+        self.qps = qps
+        self.concurrency = max(1, concurrency)
+        self.plural = plural
+        self.namespace = namespace
+        self.tier = tier
+        self._credential = None
+        self._procs = []
+        self.requests_ok = 0
+        self.requests_shed = 0
+        self.requests_failed = 0
+
+    def bind(self, sim, rng):
+        super().bind(sim, rng)
+        self._credential = self.super_cluster.register_user(self.user)
+        apf = getattr(self.super_cluster, "apf", None)
+        if apf is not None and self.tier is not None:
+            apf.classifier.assign(self.user, self.tier)
+
+    def inject(self):
+        self.injections += 1
+        for index in range(self.concurrency):
+            self._procs.append(self.sim.spawn(
+                self._flood(index), name=f"{self.name}-{index}"))
+
+    def restore(self):
+        procs, self._procs = self._procs, []
+        for process in procs:
+            process.interrupt(f"{self.name}: window closed")
+
+    def _flood(self, index):
+        from repro.apiserver.errors import ApiError, TooManyRequests
+        from repro.simkernel.errors import Interrupt
+
+        client = self.super_cluster.client(
+            credential=self._credential,
+            user_agent=f"{self.name}-{index}",
+            qps=1_000_000, burst=2_000_000)
+        client.max_retries = 0
+        period = self.concurrency / self.qps
+        try:
+            while True:
+                try:
+                    yield from client.list(self.plural,
+                                           namespace=self.namespace)
+                    self.requests_ok += 1
+                except TooManyRequests:
+                    self.requests_shed += 1
+                except ApiError:
+                    self.requests_failed += 1
+                yield self.sim.timeout(period)
+        except Interrupt:
+            return
+
+    def describe(self):
+        return (f"{self.name} qps={self.qps:g} x{self.concurrency} "
+                f"ok={self.requests_ok} shed={self.requests_shed}")

@@ -74,7 +74,14 @@ class Client:
                 attempt += 1
                 if not retryable or attempt > self.max_retries:
                     raise
-                backoff = min(0.1 * (2 ** (attempt - 1)), 2.0)
+                hint = getattr(exc, "retry_after", None)
+                if hint:
+                    # A server-provided Retry-After (APF shedding) wins
+                    # over the exponential schedule; one-sided jitter
+                    # decorrelates the herd that was shed together.
+                    backoff = hint * (1.0 + 0.5 * self.sim.rng.random())
+                else:
+                    backoff = min(0.1 * (2 ** (attempt - 1)), 2.0)
                 yield self.sim.timeout(backoff)
 
     # ------------------------------------------------------------------

@@ -62,6 +62,7 @@ class Reflector:
             "reflector_watch_failures_total", "broken/compacted watches",
             labels=("resource",)).labels(resource=plural)
         self._consecutive_failures = 0
+        self._retry_after_hint = None
         self._stopped = False
         self._stream = None
         self._process = None
@@ -80,7 +81,17 @@ class Reflector:
             self._process.interrupt("reflector stopped")
 
     def next_backoff(self):
-        """Jittered exponential backoff for the next relist attempt."""
+        """Delay before the next relist attempt.
+
+        A server-provided Retry-After hint (APF shedding, 429) overrides
+        the jittered exponential schedule: the server knows its queue
+        pressure better than the client's failure count does.  One-sided
+        jitter still applies so shed reflectors don't relist in lockstep.
+        """
+        hint = self._retry_after_hint
+        self._retry_after_hint = None
+        if hint:
+            return hint * (1.0 + self._backoff.jitter * self.sim.rng.random())
         return self._backoff.delay(self._consecutive_failures)
 
     def run(self):
@@ -107,10 +118,12 @@ class Reflector:
                     self.watch_failures += 1
                     self._watch_failures_counter.inc()
                     self._consecutive_failures += 1
-                except ApiError:
+                except ApiError as exc:
                     self.watch_failures += 1
                     self._watch_failures_counter.inc()
                     self._consecutive_failures += 1
+                    self._retry_after_hint = getattr(exc, "retry_after",
+                                                     None)
                 finally:
                     # Never leave a dangling stream registered with the
                     # apiserver/store across relists or interrupts.

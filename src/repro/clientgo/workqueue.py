@@ -224,8 +224,19 @@ class RateLimitingQueue(DelayingQueue):
         """The (jittered, capped) delay the next retry of ``item`` pays."""
         return self._backoff.delay(self._failures.get(item, 0))
 
-    def add_rate_limited(self, item):
-        delay = self.backoff_for(item)
+    def add_rate_limited(self, item, retry_after=None):
+        """Requeue a failed item after a backoff delay.
+
+        ``retry_after`` is an optional server-provided hint (429 +
+        Retry-After from APF shedding): it overrides the per-item
+        exponential schedule, with the queue's one-sided jitter still
+        applied so a shed batch doesn't retry in lockstep.  The failure
+        streak advances either way.
+        """
+        if retry_after:
+            delay = retry_after * (1.0 + self._jitter * self.sim.rng.random())
+        else:
+            delay = self.backoff_for(item)
         self._failures[item] = self._failures.get(item, 0) + 1
         self.add_after(item, delay)
 

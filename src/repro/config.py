@@ -142,6 +142,77 @@ class StorageDurability:
 
 
 @dataclass
+class ApfTier:
+    """One priority level of the APF admission layer (DESIGN.md §15).
+
+    ``shares`` sets the level's slice of the apiserver's total seat pool;
+    ``exempt`` levels (system traffic) bypass seats and queues entirely,
+    like the upstream ``exempt`` priority level.
+    """
+
+    name: str
+    shares: int
+    queues: int = 8            # shuffle-shard queues inside the level
+    hand_size: int = 2         # queues each flow may use
+    queue_limit: int = 40      # per-queue depth before immediate 429
+    queue_wait: float = 1.0    # max seconds queued before timeout 429
+    exempt: bool = False
+    # A level may borrow idle seats from the shared pool up to
+    # ``borrow_cap_factor * nominal`` while total occupancy allows it.
+    borrow_cap_factor: float = 2.0
+
+
+@dataclass
+class ApfConfig:
+    """API Priority & Fairness admission for the super apiserver
+    (DESIGN.md §15).
+
+    Disabled by default: the seed's request path (coarse max-inflight
+    only) stays byte-identical unless a run opts in.
+    """
+
+    enabled: bool = False
+    # Concurrency seats split across non-exempt levels by shares.  Kept
+    # below ApiServerLatency.max_inflight so APF, not the blunt inflight
+    # cap, is the binding constraint when enabled.
+    total_seats: int = 64
+    default_tier: str = "standard"
+    # Base of the server-computed Retry-After hint; scaled by queue
+    # pressure at rejection time.  Clients add their own jitter.
+    retry_after_base: float = 0.25
+    retry_after_max: float = 5.0
+    # Deterministic shuffle-shard dealing is keyed by this seed.
+    shuffle_seed: int = 0
+    tiers: tuple = field(default_factory=lambda: (
+        ApfTier("system", shares=0, exempt=True),
+        ApfTier("platinum", shares=50, queue_wait=2.0),
+        ApfTier("standard", shares=35),
+        ApfTier("free", shares=15, queue_wait=0.5, queue_limit=20,
+                borrow_cap_factor=1.0),
+    ))
+
+
+@dataclass
+class SwapperConfig:
+    """Scale-to-zero autoscaler for tenant control planes (DESIGN.md §15).
+
+    Disabled by default (paper-faithful: the swapper stays an opt-in
+    ablation unless a run enables it).
+    """
+
+    enabled: bool = False
+    idle_threshold: float = 60.0   # user-traffic silence before swap-out
+    check_interval: float = 10.0
+    swapout_latency: float = 0.4   # page-out window; a request cancels it
+    cold_wake_latency: float = 0.8  # page-in from swap
+    warm_wake_latency: float = 0.15  # page-in from the warm pool
+    warm_pool: int = 8             # recently-swapped planes kept warm
+    wake_concurrency: int = 32     # concurrent page-ins (I/O bound)
+    wake_slo: float = 2.5          # p99 budget incl. wake-queue wait
+    residual_fraction: float = 0.15
+
+
+@dataclass
 class KubeletLatency:
     """Real-node kubelet and runtimes."""
 
@@ -185,6 +256,8 @@ class LatencyConfig:
     network: NetworkLatency = field(default_factory=NetworkLatency)
     memory: MemoryModel = field(default_factory=MemoryModel)
     storage: StorageDurability = field(default_factory=StorageDurability)
+    apf: ApfConfig = field(default_factory=ApfConfig)
+    swapper: SwapperConfig = field(default_factory=SwapperConfig)
 
     def with_overrides(self, **sections):
         """Copy with some sections replaced, e.g. ``with_overrides(syncer=...)``."""

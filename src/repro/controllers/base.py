@@ -65,9 +65,12 @@ class Controller:
             except Conflict:
                 # Stale cache: retry shortly, the informer will catch up.
                 self.queue.add_rate_limited(key)
-            except ApiError:
+            except ApiError as exc:
                 self.error_count += 1
-                self.queue.add_rate_limited(key)
+                # Honor a server-provided Retry-After (APF shedding)
+                # over the per-item exponential schedule.
+                self.queue.add_rate_limited(
+                    key, retry_after=getattr(exc, "retry_after", None))
             finally:
                 self.reconcile_count += 1
                 self.queue.done(key)

@@ -92,6 +92,14 @@ class SuperCluster(ControlPlane):
         self.api.registry.register(_import_vc_type())
         self.informer_factory = None
         self.node_agents = []
+        # Tiered admission (DESIGN.md §15): only when opted in, so the
+        # default request path stays byte-identical to the seed.
+        self.apf = None
+        if getattr(config, "apf", None) is not None and config.apf.enabled:
+            from repro.apiserver.apf import APFLimiter
+
+            self.apf = APFLimiter(sim, config.apf, name=f"{name}-apf")
+            self.api.apf = self.apf
 
     def start(self):
         if self.started:

@@ -104,7 +104,8 @@ class VirtualClusterEnv:
                  uws_workers=None, scan_interval=None,
                  vc_namespace="vc-manager", sim=None, name="super",
                  circuit_breaker=True, syncer_replicas=1,
-                 warm_standby=True, store_replicas=None, store_wal=None):
+                 warm_standby=True, store_replicas=None, store_wal=None,
+                 apf=None, scale_to_zero=None):
         self.sim = sim or Simulation(seed=seed)
         self.name = name
         self.config = config or DEFAULT_CONFIG
@@ -121,6 +122,20 @@ class VirtualClusterEnv:
                 wal_enabled=(bool(store_wal) if store_wal is not None
                              else self.config.storage.wal_enabled))
             self.config = self.config.with_overrides(storage=storage)
+        if apf is not None or scale_to_zero is not None:
+            # Overload-protection opt-ins (DESIGN.md §15): tiered APF
+            # admission on the super apiserver and/or the scale-to-zero
+            # control-plane autoscaler.  Both default off (paper-faithful).
+            from dataclasses import replace as _replace
+
+            overrides = {}
+            if apf is not None:
+                overrides["apf"] = _replace(self.config.apf,
+                                            enabled=bool(apf))
+            if scale_to_zero is not None:
+                overrides["swapper"] = _replace(self.config.swapper,
+                                                enabled=bool(scale_to_zero))
+            self.config = self.config.with_overrides(**overrides)
         self.vc_namespace = vc_namespace
         self.super_cluster = SuperCluster(self.sim, self.config, name=name)
         self.super_cluster.start()
@@ -154,6 +169,15 @@ class VirtualClusterEnv:
                 name=syncer_name, **syncer_kwargs)
             self._syncer.start()
         self.tenants = {}
+        # Scale-to-zero autoscaler over tenant control planes; tenants
+        # are tracked (with their tier) as they are created.
+        self.swapper = None
+        if self.config.swapper.enabled:
+            from .swapper import IdleSwapper
+
+            self.swapper = IdleSwapper.from_config(self.sim,
+                                                   self.config.swapper)
+            self.swapper.start()
         self._num_virtual_nodes = num_virtual_nodes
         self._num_real_nodes = num_real_nodes
         self._bootstrapped = False
@@ -177,6 +201,8 @@ class VirtualClusterEnv:
             self.syncer_ha.drop_tenant(key)
         elif self._syncer is not None:
             self._syncer.drop_tenant(key)
+        if self.swapper is not None and _control_plane is not None:
+            self.swapper.untrack(_control_plane)
         self.tenants.pop(key, None)
 
     # ------------------------------------------------------------------
@@ -265,8 +291,13 @@ class VirtualClusterEnv:
     # ------------------------------------------------------------------
 
     def create_tenant(self, name, weight=1, mode="local",
-                      default_namespace="default"):
-        """Coroutine: create a VC, wait for provisioning, wire the syncer."""
+                      default_namespace="default", tier=None):
+        """Coroutine: create a VC, wait for provisioning, wire the syncer.
+
+        ``tier`` (platinum/standard/free) feeds the super apiserver's
+        APF classifier and the swapper's wake priority; None means the
+        APF default tier.
+        """
         admin = self.super_cluster.client(user_agent="admin", qps=100000,
                                           burst=200000)
         vc = make_virtual_cluster(name, namespace=self.vc_namespace,
@@ -287,6 +318,7 @@ class VirtualClusterEnv:
             self._syncer.register_tenant(vc, control_plane, weight=weight)
         handle = TenantHandle(self, vc, control_plane)
         self.tenants[vc.key] = handle
+        self.set_tenant_tier(handle, tier)
         if default_namespace:
             try:
                 yield from handle.create_namespace(default_namespace)
@@ -304,6 +336,17 @@ class VirtualClusterEnv:
         self.tenants.pop(handle.key, None)
         yield from admin.delete("virtualclusters", handle.name,
                                 namespace=self.vc_namespace)
+
+    def set_tenant_tier(self, handle, tier=None):
+        """Wire one tenant's tier into APF classification and the
+        scale-to-zero autoscaler (no-ops when neither is enabled)."""
+        apf = self.super_cluster.apf
+        if apf is not None and tier is not None:
+            # The tenant's identity on the super apiserver (used by
+            # direct tenant traffic and TenantStorm abusers).
+            apf.classifier.assign(f"tenant-{handle.name}", tier)
+        if self.swapper is not None:
+            self.swapper.track(handle.control_plane, tier=tier or "standard")
 
     # ------------------------------------------------------------------
     # Run helpers

@@ -171,6 +171,51 @@ def format_durability(store, title="Store durability"):
     return "\n".join(lines)
 
 
+def format_apf(limiter, title="APF admission (priority & fairness)"):
+    """Render an :class:`~repro.apiserver.APFLimiter`'s per-level stats:
+    seats vs. peak concurrency (borrowing shows as peak > seats),
+    dispatched/shed counts split by shed reason (queue overflow vs.
+    bounded-wait timeout), and mean queue wait (DESIGN.md §15)."""
+    rows = []
+    for level in limiter.snapshot():
+        seats = "exempt" if level["exempt"] else level["seats"]
+        rows.append([
+            level["level"], seats, level["peak_in_use"],
+            level["borrowed_peak"], level["dispatched"],
+            level["rejected_queue_full"], level["rejected_timeout"],
+            f"{level['mean_wait']*1000:.1f}ms",
+        ])
+    table = format_table(
+        ["level", "seats", "peak", "borrowed", "dispatched",
+         "shed(full)", "shed(timeout)", "mean wait"],
+        rows, title=title)
+    return table
+
+
+def format_swapper(swapper, title="Scale-to-zero swapper"):
+    """Render an :class:`~repro.core.IdleSwapper`'s fleet state: how
+    many tracked planes are swapped out, resident memory, wake counts
+    split warm/cold, and the wake-latency p99 against the SLO."""
+    total = len(swapper._tracked)
+    swapped = swapper.swapped_count()
+    wakes = len(swapper.wake_samples)
+    warm = sum(1 for _t, kind, _e in swapper.wake_samples
+               if kind == "warm")
+    p99 = swapper.wake_p99()
+    rows = [
+        ["tracked planes", total],
+        ["swapped out", f"{swapped} ({100.0*swapped/total:.1f}%)"
+         if total else "0"],
+        ["resident bytes", f"{swapper.total_resident_bytes():,.0f}"],
+        ["swap-outs", swapper.swap_out_count],
+        ["wakes (warm/cold)", f"{wakes} ({warm}/{wakes - warm})"],
+        ["wake p99", f"{p99:.3f}s" if wakes else "-"],
+        ["wake SLO", "-" if swapper.wake_slo is None
+         else f"{swapper.wake_slo:.3f}s"],
+    ]
+    return format_table(["metric", "value"], rows, title=title)
+
+
 def summarize(result):
     """One-line summary of a StressResult."""
     return (f"{result.mode}: pods={result.num_pods} "

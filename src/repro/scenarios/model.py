@@ -39,7 +39,13 @@ FAULT_CATALOG = {
     "partition": {"params": (), "targets": ("tenant",)},
     "worker-crash": {"params": ("count",), "targets": ("syncer",)},
     "compaction": {"params": ("keep",), "targets": ("tenant", "super")},
+    "tenant-storm": {"params": ("qps", "concurrency", "tier"),
+                     "targets": ("tenant",)},
 }
+
+#: Admission tiers a tenant may declare (DESIGN.md §15).  ``system`` is
+#: reserved for infrastructure credentials and is not assignable here.
+TENANT_TIERS = ("platinum", "standard", "free")
 
 SCHEDULE_TYPES = ("oneshot", "periodic", "random")
 
@@ -302,11 +308,12 @@ class WorkloadSpec(_Spec):
 
 
 class TenantSpec(_Spec):
-    fields = ("name", "weight", "workloads")
+    fields = ("name", "weight", "tier", "workloads")
 
-    def __init__(self, name, weight=1, workloads=()):
+    def __init__(self, name, weight=1, tier=None, workloads=()):
         self.name = name
         self.weight = int(weight)
+        self.tier = tier
         self.workloads = list(workloads)
 
     def validate(self, where, horizon):
@@ -314,6 +321,10 @@ class TenantSpec(_Spec):
         if self.weight < 1:
             raise ScenarioError(
                 f"{where}.weight: must be >= 1, got {self.weight!r}")
+        if self.tier is not None and self.tier not in TENANT_TIERS:
+            raise ScenarioError(
+                f"{where}.tier: unknown tier {self.tier!r} "
+                f"(valid: {', '.join(TENANT_TIERS)})")
         seen = {}
         for index, workload in enumerate(self.workloads):
             workload.validate(f"{where}.workloads[{index}]", horizon)
@@ -328,6 +339,8 @@ class TenantSpec(_Spec):
         out = {"name": self.name}
         if self.weight != 1:
             out["weight"] = self.weight
+        if self.tier is not None:
+            out["tier"] = self.tier
         if self.workloads:
             out["workloads"] = [w.to_dict() for w in self.workloads]
         return out
@@ -343,6 +356,7 @@ class TenantSpec(_Spec):
         return cls(
             name=data["name"],
             weight=_number(data, "weight", where, 1),
+            tier=data.get("tier"),
             workloads=[WorkloadSpec.from_dict(w, f"{where}.workloads[{i}]")
                        for i, w in enumerate(workloads)])
 
@@ -674,18 +688,33 @@ class GoldenSpec(_Spec):
 
 
 class ControlSpec(_Spec):
-    """How the env under test is configured (syncer sizing etc.)."""
+    """How the env under test is configured (syncer sizing etc.).
+
+    ``apf`` turns on APF admission control on the super apiserver
+    (tenant tiers, shuffle-shard queues, 429 + Retry-After shedding);
+    ``scale_to_zero`` turns on the idle swapper, with
+    ``idle_threshold`` overriding how long a tenant control plane must
+    see no user traffic before it is paged out (DESIGN.md §15).  Both
+    default off, so existing scenarios run the exact pre-§15 stack and
+    keep their golden digests.
+    """
 
     fields = ("scan_interval", "dws_workers", "uws_workers",
-              "fair_queuing", "optimized")
+              "fair_queuing", "optimized", "apf", "scale_to_zero",
+              "idle_threshold")
 
     def __init__(self, scan_interval=5.0, dws_workers=4, uws_workers=4,
-                 fair_queuing=True, optimized=True):
+                 fair_queuing=True, optimized=True, apf=False,
+                 scale_to_zero=False, idle_threshold=None):
         self.scan_interval = float(scan_interval)
         self.dws_workers = int(dws_workers)
         self.uws_workers = int(uws_workers)
         self.fair_queuing = bool(fair_queuing)
         self.optimized = bool(optimized)
+        self.apf = bool(apf)
+        self.scale_to_zero = bool(scale_to_zero)
+        self.idle_threshold = (float(idle_threshold)
+                               if idle_threshold is not None else None)
 
     def validate(self, where):
         if self.scan_interval <= 0:
@@ -694,13 +723,28 @@ class ControlSpec(_Spec):
         if self.dws_workers < 1 or self.uws_workers < 1:
             raise ScenarioError(
                 f"{where}: dws_workers/uws_workers must be >= 1")
+        if self.idle_threshold is not None:
+            if self.idle_threshold <= 0:
+                raise ScenarioError(
+                    f"{where}.idle_threshold: must be > 0 seconds")
+            if not self.scale_to_zero:
+                raise ScenarioError(
+                    f"{where}.idle_threshold: only meaningful with "
+                    f"scale_to_zero: true")
 
     def to_dict(self):
-        return {"scan_interval": self.scan_interval,
-                "dws_workers": self.dws_workers,
-                "uws_workers": self.uws_workers,
-                "fair_queuing": self.fair_queuing,
-                "optimized": self.optimized}
+        out = {"scan_interval": self.scan_interval,
+               "dws_workers": self.dws_workers,
+               "uws_workers": self.uws_workers,
+               "fair_queuing": self.fair_queuing,
+               "optimized": self.optimized}
+        if self.apf:
+            out["apf"] = True
+        if self.scale_to_zero:
+            out["scale_to_zero"] = True
+        if self.idle_threshold is not None:
+            out["idle_threshold"] = self.idle_threshold
+        return out
 
     @classmethod
     def from_dict(cls, data, where):
@@ -710,7 +754,10 @@ class ControlSpec(_Spec):
             dws_workers=_number(data, "dws_workers", where, 4),
             uws_workers=_number(data, "uws_workers", where, 4),
             fair_queuing=data.get("fair_queuing", True),
-            optimized=data.get("optimized", True))
+            optimized=data.get("optimized", True),
+            apf=data.get("apf", False),
+            scale_to_zero=data.get("scale_to_zero", False),
+            idle_threshold=_number(data, "idle_threshold", where))
         spec.validate(where)
         return spec
 

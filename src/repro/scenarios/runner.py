@@ -35,6 +35,7 @@ from repro.chaos.faults import (
     ApiServerCrash,
     ForcedCompaction,
     NetworkPartition,
+    TenantStorm,
     WatchDrop,
     WorkerCrash,
 )
@@ -125,9 +126,10 @@ def compile_schedule(spec):
         count=spec.count)
 
 
-def _compile_fault(entry, env, handles):
+def _compile_fault(entry, env, handles, tenant_specs=None):
     """ChaosSpec → a bound-able fault against the live env."""
     params = entry.params
+    tenant_specs = tenant_specs or {}
     if entry.target == "super":
         target = env.super_cluster
         label = "super"
@@ -159,20 +161,49 @@ def _compile_fault(entry, env, handles):
         return NetworkPartition(client, name=f"partition:{label}")
     if entry.fault == "worker-crash":
         return WorkerCrash(env.syncer, count=int(params.get("count", 1)))
+    if entry.fault == "tenant-storm":
+        # The abuser floods the *super* apiserver under a per-tenant
+        # storm identity; its tier defaults to the tenant's declared
+        # tier so APF classifies (and sheds) it accordingly.
+        tier = params.get("tier")
+        if tier is None:
+            spec = tenant_specs.get(entry.target)
+            tier = spec.tier if spec is not None else None
+        return TenantStorm(
+            env.super_cluster, user=f"storm-{label}",
+            qps=float(params.get("qps", 400.0)),
+            concurrency=int(params.get("concurrency", 200)),
+            tier=tier, name=f"storm:{label}")
     raise ScenarioError(f"unknown fault {entry.fault!r}")  # pragma: no cover
 
 
 def scenario_config(control):
     """ControlSpec → a latency/behavior config for the env."""
-    if not control.optimized:
-        return DEFAULT_CONFIG
     from dataclasses import replace
 
-    # The §9 hot-path optimizations (indexes, sharded dispatch, batched
-    # downward writes) — the configuration every corpus scenario runs.
-    return DEFAULT_CONFIG.with_overrides(syncer=replace(
-        DEFAULT_CONFIG.syncer, use_cache_indexes=True, dispatch_shards=2,
-        downward_batch_max=8))
+    config = DEFAULT_CONFIG
+    if control.optimized:
+        # The §9 hot-path optimizations (indexes, sharded dispatch,
+        # batched downward writes) — the configuration every corpus
+        # scenario runs.
+        config = config.with_overrides(syncer=replace(
+            config.syncer, use_cache_indexes=True, dispatch_shards=2,
+            downward_batch_max=8))
+    overrides = {}
+    if control.apf:
+        overrides["apf"] = replace(config.apf, enabled=True)
+    if control.scale_to_zero:
+        swapper = replace(config.swapper, enabled=True)
+        if control.idle_threshold is not None:
+            # Keep the poll cadence proportional so short thresholds
+            # are actually observed within a scenario horizon.
+            swapper = replace(
+                swapper, idle_threshold=control.idle_threshold,
+                check_interval=max(0.5, control.idle_threshold / 5.0))
+        overrides["swapper"] = swapper
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
 
 
 # ----------------------------------------------------------------------
@@ -263,7 +294,8 @@ def run_scenario(scenario, race_check=None):
     handles = {}
     for tenant in scenario.tenants:
         handles[tenant.name] = env.run_coroutine(
-            env.create_tenant(tenant.name, weight=tenant.weight),
+            env.create_tenant(tenant.name, weight=tenant.weight,
+                              tier=tenant.tier),
             name=f"create-{tenant.name}")
     for tenant in scenario.tenants:
         for namespace in sorted({w.namespace for w in tenant.workloads
@@ -275,9 +307,10 @@ def run_scenario(scenario, race_check=None):
     # -- chaos overlay ---------------------------------------------------
     engine = ChaosEngine(env, seed=derive_seed(scenario.seed, "chaos"),
                          name=f"chaos-{scenario.name}")
+    tenant_specs = {t.name: t for t in scenario.tenants}
     for entry in scenario.chaos:
         engine.add(compile_schedule(entry.schedule),
-                   _compile_fault(entry, env, handles))
+                   _compile_fault(entry, env, handles, tenant_specs))
     engine.start()
 
     # -- load ------------------------------------------------------------
