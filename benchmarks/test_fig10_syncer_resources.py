@@ -58,3 +58,13 @@ def test_fig10_syncer_cpu_and_memory(benchmark):
     # Under burst the syncer needs multiple CPUs (paper ~6), far above
     # the 1-2 CPU recommendation for normal loads.
     assert rows[-1][3] > 1.5
+
+    # Kernel heap occupancy stays bounded at the largest sweep point:
+    # far timers wait in the wheel and abandoned any_of losers are
+    # cancelled or lazily skipped, so the ready heap holds only the
+    # current burst — orders of magnitude below total dispatches.
+    stats = vc_run(pods[-1], tenants).env.sim.kernel_stats()
+    benchmark.extra_info["peak_heap"] = stats["peak_heap"]
+    assert stats["wheel_scheduled"] > 0
+    assert stats["timers_cancelled"] + stats["orphans_skipped"] > 0
+    assert stats["peak_heap"] < stats["dispatched"] / 50

@@ -1,0 +1,200 @@
+"""Kernel-speedup ablation and parallel-backend equivalence benchmark.
+
+``REPRO_KERNEL_LEGACY=1`` restores the seed's kernel and store behavior
+(interpreted per-field serde, no timer wheel, set-based prefix index
+with a full sort per list/count), so one environment variable ablates
+every optimization this suite measures.  Because the flag is read at
+import time, the legacy arm runs in a subprocess.
+
+Three claims, in decreasing order of importance:
+
+1. **Equivalence** — legacy mode, fast mode, and every parallel worker
+   count produce byte-identical store-event digests.  This is the hard
+   invariant (DESIGN.md §16); it is asserted exactly.
+2. **Heap occupancy** — the timer wheel and orphan cancellation keep the
+   ready heap small: peak occupancy stays far below total dispatches,
+   and any_of-loser timers are cancelled instead of carried to their
+   deadline.  Deterministic counters, asserted exactly.
+3. **Speedup** — the optimized kernel is faster than the seed's.  Wall
+   and CPU time on a shared box are noisy, so the run takes the min of
+   three interleaved pairs, records the measured ratio in
+   ``extra_info`` (EXPERIMENTS.md quotes those numbers), and asserts
+   only a conservative floor.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from benchmarks.conftest import once
+
+PODS = 600
+TENANTS = 6
+NODES = 8
+RATE = 150.0
+
+_RUNNER = r"""
+import json, time
+from repro.analysis import ReplayRecorder
+from repro.core import VirtualClusterEnv
+from repro.simkernel import Simulation
+from repro.workloads import run_vc_stress
+
+workers = {workers}
+sim = Simulation(seed=0, workers=workers)
+recorder = ReplayRecorder(sim)
+env = VirtualClusterEnv(seed=0, sim=sim, num_virtual_nodes={nodes})
+env.bootstrap()
+cpu0, wall0 = time.process_time(), time.perf_counter()
+run_vc_stress(num_pods={pods}, num_tenants={tenants},
+              submission_rate={rate}, num_nodes={nodes}, seed=0,
+              timeout=3600.0, env=env)
+cpu, wall = time.process_time() - cpu0, time.perf_counter() - wall0
+sim.close()
+print(json.dumps({{"digest": recorder.final_digest,
+                   "events": len(recorder.digests),
+                   "cpu": cpu, "wall": wall,
+                   "stats": sim.kernel_stats()}}))
+"""
+
+
+def _run_arm(legacy, workers=0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    if legacy:
+        env["REPRO_KERNEL_LEGACY"] = "1"
+    else:
+        env.pop("REPRO_KERNEL_LEGACY", None)
+    script = _RUNNER.format(workers=workers, pods=PODS, tenants=TENANTS,
+                            nodes=NODES, rate=RATE)
+    out = subprocess.run([sys.executable, "-c", script], env=env,
+                         capture_output=True, text=True, check=True,
+                         timeout=1200)
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_legacy_and_fast_kernels_byte_identical(benchmark):
+    def run():
+        return _run_arm(legacy=True), _run_arm(legacy=False)
+
+    legacy, fast = once(benchmark, run)
+    assert legacy["events"] > 0
+    assert (fast["digest"], fast["events"]) == (legacy["digest"],
+                                                legacy["events"])
+    # The optimizations change *where* timers wait and how objects
+    # serialize, never what is dispatched or when.
+    assert fast["stats"]["dispatched"] == legacy["stats"]["dispatched"]
+
+
+_RACE_RUNNER = r"""
+import json
+from repro.simkernel import Simulation
+
+sim = Simulation(seed=0)
+N = {racers}
+
+def racer(index):
+    fast = sim.timeout(0.5 + (index % 100) * 0.01)
+    slow = sim.timeout(600.0)  # the loser: a long watchdog deadline
+    yield sim.any_of([fast, slow])
+
+def launcher():
+    # Staggered starts, as a real workload would arrive: the heap should
+    # only ever hold the in-flight sliver, never the loser population.
+    for index in range(N):
+        sim.process(racer(index))
+        yield sim.timeout(0.001)
+
+sim.process(launcher())
+sim.run()
+print(json.dumps({{"now": sim.now, "stats": sim.kernel_stats()}}))
+"""
+
+
+def _run_race_arm(legacy, racers=4000):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    if legacy:
+        env["REPRO_KERNEL_LEGACY"] = "1"
+    else:
+        env.pop("REPRO_KERNEL_LEGACY", None)
+    script = _RACE_RUNNER.format(racers=racers)
+    out = subprocess.run([sys.executable, "-c", script], env=env,
+                         capture_output=True, text=True, check=True,
+                         timeout=600)
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_orphan_cancellation_cuts_heap_occupancy(benchmark):
+    """The any_of-loser satellite, at benchmark scale.
+
+    N processes race a short wait against a long watchdog Timeout.  The
+    seed carried every losing timer in the ready heap until its deadline
+    — the heap held all N losers at once and the run idled to t=600
+    popping no-ops.  With the wheel + orphan cancellation the losers
+    never reach the heap and the run ends when the last winner fires.
+    """
+    racers = 4000
+
+    def run():
+        return (_run_race_arm(legacy=True, racers=racers),
+                _run_race_arm(legacy=False, racers=racers))
+
+    legacy, fast = once(benchmark, run)
+    lstats, fstats = legacy["stats"], fast["stats"]
+    benchmark.extra_info["peak_heap_legacy"] = lstats["peak_heap"]
+    benchmark.extra_info["peak_heap_fast"] = fstats["peak_heap"]
+    benchmark.extra_info["timers_cancelled"] = fstats["timers_cancelled"]
+    # The legacy heap held every loser at once; the wheel keeps them out.
+    assert lstats["peak_heap"] >= racers
+    assert fstats["peak_heap"] < lstats["peak_heap"] / 4
+    # Losers are cancelled at flush, never dispatched...
+    assert fstats["timers_cancelled"] == racers
+    assert lstats["orphans_skipped"] >= racers
+    # ...so the run ends at the last winner, not the loser deadline.
+    assert legacy["now"] >= 600.0
+    assert fast["now"] < 10.0
+
+
+def test_kernel_ablation_speedup(benchmark):
+    """Min-of-3 interleaved pairs; records the ratio, asserts a floor."""
+
+    def run():
+        pairs = [(_run_arm(legacy=True), _run_arm(legacy=False))
+                 for _ in range(3)]
+        legacy_cpu = min(p[0]["cpu"] for p in pairs)
+        fast_cpu = min(p[1]["cpu"] for p in pairs)
+        legacy_wall = min(p[0]["wall"] for p in pairs)
+        fast_wall = min(p[1]["wall"] for p in pairs)
+        return legacy_cpu, fast_cpu, legacy_wall, fast_wall
+
+    legacy_cpu, fast_cpu, legacy_wall, fast_wall = once(benchmark, run)
+    benchmark.extra_info["legacy_cpu_s"] = round(legacy_cpu, 2)
+    benchmark.extra_info["fast_cpu_s"] = round(fast_cpu, 2)
+    benchmark.extra_info["cpu_speedup"] = round(legacy_cpu / fast_cpu, 2)
+    benchmark.extra_info["wall_speedup"] = round(
+        legacy_wall / fast_wall, 2)
+    # Floor, not target: co-tenant noise on shared CI boxes swamps the
+    # true gap (EXPERIMENTS.md records representative measured ratios).
+    assert legacy_cpu / fast_cpu > 1.03
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_workers_byte_identical(benchmark, workers):
+    """The Fig. 10-style stress digest is invariant to worker count."""
+
+    def run():
+        return _run_arm(legacy=False), _run_arm(legacy=False,
+                                                workers=workers)
+
+    serial, parallel = once(benchmark, run)
+    assert serial["events"] > 0
+    assert (parallel["digest"], parallel["events"]) == \
+        (serial["digest"], serial["events"])
+    assert parallel["stats"]["parallel_batches"] > 0
+    assert parallel["stats"]["dispatched"] == serial["stats"]["dispatched"]

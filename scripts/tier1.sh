@@ -8,6 +8,7 @@
 #         scripts/tier1.sh --durability-smoke [seed]
 #         scripts/tier1.sh --scenario-smoke [corpus-dir]
 #         scripts/tier1.sh --apf-smoke [seed]
+#         scripts/tier1.sh --parallel-smoke [seed]
 #         scripts/tier1.sh --lint
 #
 # Runs the tier1-marked tests (every test except the long soak runs)
@@ -48,6 +49,12 @@
 # the storm shed, not served); a same-seed determinism double-run with
 # both features on; and the apf-marked suite (admission, swap state
 # machine, Retry-After plumbing, fairness properties).
+#
+# --parallel-smoke runs the parallel-backend gate (DESIGN.md §16): the
+# chaos config serially and with 2 kernel workers, failing on any
+# store-event digest divergence; a 2-worker run under the vector-clock
+# race detector; and the parallel-marked suite (merge-barrier
+# determinism, timer-wheel ordering, digest-equality properties).
 #
 # --lint runs the determinism linter (repro.analysis) over src/ in
 # strict mode against the committed allowlist, then the lint-marked
@@ -123,6 +130,22 @@ if [[ "${1:-}" == "--apf-smoke" ]]; then
     echo "tier1: apf-marked suite" >&2
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python -m pytest -x -q -m apf
+    exit 0
+fi
+
+if [[ "${1:-}" == "--parallel-smoke" ]]; then
+    seed="${2:-0}"
+    echo "tier1: parallel smoke (seed=$seed), 2-worker digest equality" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --seed "$seed" --horizon 25 \
+        --compare-workers 2
+    echo "tier1: parallel smoke (seed=$seed), race detector, 2 workers" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --seed "$seed" --horizon 25 \
+        --workers 2 --detect-races
+    echo "tier1: parallel-marked suite" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -x -q -m parallel
     exit 0
 fi
 

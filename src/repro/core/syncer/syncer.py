@@ -290,8 +290,8 @@ class Syncer:
     def tenant_informer(self, tenant, plural):
         return self.tenants[tenant].informers.informer(plural)
 
-    def spawn(self, coroutine, name=None):
-        return self.sim.spawn(coroutine, name=name)
+    def spawn(self, coroutine, name=None, affinity=None):
+        return self.sim.spawn(coroutine, name=name, affinity=affinity)
 
     def metrics_inc(self, counter):
         self._events_counter.labels(syncer=self.name, event=counter).inc()

@@ -6,7 +6,22 @@ Kubernetes camelCase wire names), deep copy, and structural equality.  The
 wire format is plain dicts, which is what the simulated etcd stores — just
 like real etcd stores JSON — so no object aliasing can leak between the
 apiserver and its clients.
+
+Serde is the kernel's hottest path (profiling the Fig. 10 stress run
+puts ``from_dict``/``to_dict`` and their helpers at ~45% of total
+interpreter time), so ``__init_subclass__`` compiles a specialized
+``__init__``/``to_dict``/``from_dict`` per type — the field loop,
+container dispatch, and default handling are resolved at class-creation
+time, the way :mod:`dataclasses` builds ``__init__``.  The generated
+code is behaviourally identical to the generic interpreted path below,
+which remains in place as the ``REPRO_KERNEL_LEGACY=1`` ablation
+baseline used by the kernel-speedup benchmark (and for any subclass
+that overrides the serde methods by hand).
 """
+
+import os
+
+_LEGACY_SERDE = bool(os.environ.get("REPRO_KERNEL_LEGACY"))
 
 
 class Field:
@@ -59,6 +74,20 @@ class Serializable:
 
     FIELDS = ()
 
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if not _LEGACY_SERDE:
+            _install_fast_serde(cls)
+
+    @classmethod
+    def _wire_header(cls):
+        """Constant ``(key, value)`` pairs prepended to ``to_dict`` output.
+
+        Must be constant per *class* (it is evaluated once at
+        class-creation time by the serde codegen).
+        """
+        return ()
+
     def __init__(self, **kwargs):
         cls = type(self)
         fields = cls._field_index()
@@ -91,6 +120,8 @@ class Serializable:
         round-trip rather than resurrect the default.
         """
         out = {}
+        for key, value in self._wire_header():
+            out[key] = value
         for field in self._field_index().values():
             value = getattr(self, field.py_name)
             if value is None:
@@ -191,3 +222,179 @@ def _load(field_type, raw):
     if hasattr(field_type, "from_serialized"):
         return field_type.from_serialized(raw)
     return raw
+
+
+# ---------------------------------------------------------------------------
+# Per-class serde codegen
+# ---------------------------------------------------------------------------
+
+_MISSING = object()
+
+# isinstance() of any of these implies _dump/_load are identity; checked
+# first because the overwhelming majority of field values are scalars.
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _manual_override(cls, name):
+    """True when a hand-written ``name`` is in effect between ``cls`` and
+    :class:`Serializable` — codegen must not clobber it."""
+    for klass in cls.__mro__:
+        if klass is Serializable:
+            return False
+        fn = klass.__dict__.get(name)
+        if fn is not None:
+            fn = getattr(fn, "__func__", fn)
+            return not getattr(fn, "_repro_generated", False)
+    return False
+
+
+class _SerdeCodegen:
+    """Compiles specialized ``__init__``/``to_dict``/``from_dict``.
+
+    The generated source mirrors the generic methods on
+    :class:`Serializable` line for line; the per-field dispatch (field
+    iteration, container branching, default construction, nested-type
+    probing) that the generic path re-derives on every call is resolved
+    here once, at class-creation time.
+    """
+
+    def __init__(self, cls):
+        self.cls = cls
+        self.ns = {
+            "fast_deep_copy": fast_deep_copy,
+            "_dump": _dump,
+            "_MISSING": _MISSING,
+            "_SCALAR_TYPES": _SCALAR_TYPES,
+        }
+        self._n = 0
+
+    def const(self, prefix, value):
+        self._n += 1
+        name = f"_{prefix}{self._n}"
+        self.ns[name] = value
+        return name
+
+    def compile(self, name, lines):
+        source = "\n".join(lines)
+        code = compile(source, f"<serde {self.cls.__name__}.{name}>", "exec")
+        scope = {}
+        exec(code, self.ns, scope)
+        fn = scope[name]
+        fn._repro_generated = True
+        return fn
+
+    def default_expr(self, field):
+        if field.default_factory is not None:
+            return f"{self.const('df', field.default_factory)}()"
+        if field.default is None:
+            return "None"
+        return self.const("dv", field.default)
+
+    def gen_init(self, fields):
+        lines = ["def __init__(self, **kwargs):",
+                 "    d = self.__dict__",
+                 "    pop = kwargs.pop"]
+        for field in fields:
+            lines.append(f"    v = pop({field.py_name!r}, _MISSING)")
+            lines.append(f"    d[{field.py_name!r}] = "
+                         f"{self.default_expr(field)} if v is _MISSING else v")
+        lines += [
+            "    if kwargs:",
+            "        unknown = ', '.join(sorted(kwargs))",
+            f"        raise TypeError({self.cls.__name__ + ': unknown fields: '!r}"
+            f" + unknown)",
+        ]
+        return self.compile("__init__", lines)
+
+    def load_expr(self, field, raw):
+        ftype = field.type
+        if ftype is None:
+            return (f"(fast_deep_copy({raw}) if type({raw}) is dict"
+                    f" or type({raw}) is list else {raw})")
+        tname = self.const("ty", ftype)
+        has_from_dict = hasattr(ftype, "from_dict")
+        has_from_serialized = hasattr(ftype, "from_serialized")
+        if has_from_dict and has_from_serialized:
+            return (f"({tname}.from_dict({raw}) if isinstance({raw}, dict)"
+                    f" else {tname}.from_serialized({raw}))")
+        if has_from_dict:
+            return (f"({tname}.from_dict({raw}) if isinstance({raw}, dict)"
+                    f" else {raw})")
+        if has_from_serialized:
+            return f"{tname}.from_serialized({raw})"
+        return raw
+
+    def gen_from_dict(self, fields):
+        lines = ["def from_dict(cls, data):",
+                 "    if data is None:",
+                 "        return None",
+                 "    obj = cls.__new__(cls)",
+                 "    d = obj.__dict__",
+                 "    get = data.get"]
+        for field in fields:
+            if field.container == "list":
+                expr = f"[{self.load_expr(field, 'item')} for item in raw]"
+            elif field.container == "map":
+                expr = (f"{{key: {self.load_expr(field, 'value')}"
+                        f" for key, value in raw.items()}}")
+            else:
+                expr = self.load_expr(field, "raw")
+            lines.append(f"    raw = get({field.json_name!r})")
+            lines.append(f"    d[{field.py_name!r}] = "
+                         f"{self.default_expr(field)} if raw is None"
+                         f" else {expr}")
+        lines.append("    return obj")
+        return self.compile("from_dict", lines)
+
+    def dump_expr(self, field, value):
+        if field.type is None:
+            return (f"({value} if isinstance({value}, _SCALAR_TYPES)"
+                    f" else _dump({value}))")
+        return f"_dump({value})"
+
+    def gen_to_dict(self, fields):
+        header_items = []
+        for key, value in self.cls._wire_header():
+            if value is None or isinstance(value, _SCALAR_TYPES):
+                header_items.append(f"{key!r}: {value!r}")
+            else:
+                header_items.append(f"{key!r}: {self.const('wh', value)}")
+        lines = ["def to_dict(self):",
+                 "    out = {" + ", ".join(header_items) + "}"]
+        for field in fields:
+            lines.append(f"    v = self.{field.py_name}")
+            if field.container in ("list", "map"):
+                if field.container == "list":
+                    expr = f"[{self.dump_expr(field, 'item')} for item in v]"
+                    empty = "[]"
+                else:
+                    expr = (f"{{k: {self.dump_expr(field, 'item')}"
+                            f" for k, item in v.items()}}")
+                    empty = "{}"
+                lines.append("    if v:")
+                lines.append(f"        out[{field.json_name!r}] = {expr}")
+                # The generic path emits an explicit empty collection only
+                # when the field's default is non-empty (see to_dict above);
+                # that predicate is constant per field, so it is resolved
+                # here at class-creation time.
+                if field.default_factory is not None \
+                        and field.default_factory():
+                    lines.append("    elif v is not None:")
+                    lines.append(f"        out[{field.json_name!r}] = {empty}")
+            else:
+                lines.append("    if v is not None:")
+                lines.append(f"        out[{field.json_name!r}] = "
+                             f"{self.dump_expr(field, 'v')}")
+        lines.append("    return out")
+        return self.compile("to_dict", lines)
+
+
+def _install_fast_serde(cls):
+    gen = _SerdeCodegen(cls)
+    fields = tuple(cls._field_index().values())
+    if not _manual_override(cls, "__init__"):
+        cls.__init__ = gen.gen_init(fields)
+    if not _manual_override(cls, "to_dict"):
+        cls.to_dict = gen.gen_to_dict(fields)
+    if not _manual_override(cls, "from_dict"):
+        cls.from_dict = classmethod(gen.gen_from_dict(fields))

@@ -75,10 +75,9 @@ class KubeObject(Serializable):
         Field("metadata", type=ObjectMeta, default_factory=ObjectMeta),
     )
 
-    def to_dict(self):
-        out = {"apiVersion": self.API_VERSION, "kind": self.KIND}
-        out.update(super().to_dict())
-        return out
+    @classmethod
+    def _wire_header(cls):
+        return (("apiVersion", cls.API_VERSION), ("kind", cls.KIND))
 
     @property
     def name(self):

@@ -18,6 +18,11 @@ class Event:
     (raised inside waiters on failure).
     """
 
+    # Tenant/shard affinity tag for the parallel backend's partitioner
+    # (repro.simkernel.parallel).  Purely advisory: it steers which worker
+    # a ready event lands on, never what the dispatch order is.
+    affinity = None
+
     def __init__(self, sim):
         self.sim = sim
         self.callbacks = []
@@ -27,6 +32,11 @@ class Event:
         # "defused"; undefused failures crash the simulation loudly instead
         # of passing silently.
         self.defused = False
+        # Events created inside a process inherit its tenant affinity, so
+        # a control plane's timers/IO route to its tenant's partition.
+        active = sim._active_process
+        if active is not None and active.affinity is not None:
+            self.affinity = active.affinity
 
     @property
     def triggered(self):
@@ -79,6 +89,28 @@ class Event:
         else:
             self.callbacks.append(callback)
 
+    def _detach(self, callback):
+        """Remove a registered callback (no-op if absent or processed).
+
+        A triggered-ok event whose last callback is detached becomes an
+        *orphan*: the loop skips its dispatch and the timer wheel drops it
+        before it ever reaches the heap (see ``Simulation.run``).
+        """
+        callbacks = self.callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                return
+            if not callbacks and self._value is not _PENDING \
+                    and not self._ok:
+                # Detaching is a deliberate abandonment of the wait: when
+                # the last observer of an already-failed event walks away
+                # (e.g. a worker interrupted while blocked on a queue the
+                # shutdown just failed), the failure counts as handled —
+                # it must not crash the loop as undefused.
+                self.defused = True
+
     def _process(self):
         callbacks, self.callbacks = self.callbacks, None
         for callback in callbacks:
@@ -130,6 +162,11 @@ class Condition(Event):
 
     def _on_event(self, event):
         if self.triggered:
+            # The condition already has an outcome.  A late-succeeding
+            # constituent (an any_of loser) is irrelevant; a late *failure*
+            # must NOT be swallowed here — leave it undefused so the loop's
+            # undefused-failure check surfaces it, unless another waiter
+            # handles it first ("undefused failures crash loudly").
             return
         detector = self.sim.race_detector
         if detector is not None:
@@ -141,11 +178,27 @@ class Condition(Event):
         if not event.ok:
             event.defused = True
             self.fail(event.value)
+            self._detach_settled()
             return
         self._count += 1
         self._fired.append(event)
         if self._evaluate(self._events, self._count):
             self.succeed({ev: ev.value for ev in self._fired})
+            self._detach_settled()
+
+    def _detach_settled(self):
+        """Drop our callback from constituents that can no longer matter.
+
+        Once the condition has an outcome, a constituent that already
+        *succeeded* can never affect it again — detaching orphans pending
+        any_of-loser Timeouts so the loop/timer wheel can skip them instead
+        of carrying them in the heap until their deadline.  Constituents
+        that have not triggered yet keep the callback: they may still
+        *fail*, and that failure must stay observable.
+        """
+        for ev in self._events:
+            if ev.triggered and ev._ok:
+                ev._detach(self._on_event)
 
 
 def any_of(sim, events):

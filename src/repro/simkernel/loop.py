@@ -8,6 +8,7 @@ and far faster than wall-clock execution.
 """
 
 import heapq
+import os
 import random
 
 from .accounting import Accounting
@@ -15,8 +16,14 @@ from .errors import SimulationDeadlock, StopSimulation
 from .events import Event, Timeout, all_of, any_of
 from .metrics import MetricsRegistry
 from .process import Process
+from .timerwheel import MIN_WHEEL_DELAY, TimerWheel
 
 _CALLBACK = object()
+
+# REPRO_KERNEL_LEGACY=1 disables the timer wheel (and, in repro.objects,
+# the serde codegen): the ablation baseline the kernel-speedup benchmark
+# measures against.  Results are byte-identical either way.
+_LEGACY_KERNEL = bool(os.environ.get("REPRO_KERNEL_LEGACY"))
 
 
 class Simulation:
@@ -27,15 +34,35 @@ class Simulation:
     seed:
         Seed for the simulation-owned random generator.  Every run with the
         same seed and workload produces identical timelines.
+    workers:
+        Parallel-backend worker count (``repro.simkernel.parallel``).
+        ``None`` reads ``REPRO_WORKERS``; 0 means serial.  Any value
+        produces byte-identical results — the merge barrier fixes the
+        global dispatch order.
     """
 
-    def __init__(self, seed=0, perturb_swap=None):
+    def __init__(self, seed=0, perturb_swap=None, workers=None):
         self._now = 0.0
         self._heap = []
         self._seq = 0
         self._active_process = None
         self.rng = random.Random(seed)
         self._process_count = 0
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
+        if workers < 0:
+            raise ValueError(f"negative worker count: {workers}")
+        self.workers = workers
+        self._executor = None
+        # Far-future timers are staged in a hierarchical wheel instead of
+        # the heap; `_wheel_next` caches the earliest bucket boundary so
+        # the hot loop pays one float compare per pop.
+        self._wheel = None if _LEGACY_KERNEL else TimerWheel()
+        self._wheel_next = None
+        self._batches = 0
+        self._parallel_batches = 0
+        self._orphans_skipped = 0
+        self._peak_heap = 0
         # Analysis hooks (repro.analysis): a RaceDetector stamps events
         # with vector clocks, a ReplayRecorder hashes store emissions.
         self.race_detector = None
@@ -74,7 +101,16 @@ class Simulation:
         if self.race_detector is not None:
             self.race_detector.stamp_event(event)
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        wheel = self._wheel
+        if wheel is not None and delay >= MIN_WHEEL_DELAY:
+            start = wheel.add(self._now + delay, self._seq, event, self._now)
+            if self._wheel_next is None or start < self._wheel_next:
+                self._wheel_next = start
+            return
+        heap = self._heap
+        heapq.heappush(heap, (self._now + delay, self._seq, event))
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
 
     def _schedule_callback(self, fn, delay=0):
         """Schedule a bare callable (used for late subscribers, interrupts)."""
@@ -103,10 +139,15 @@ class Simulation:
         """Event succeeding when all of ``events`` succeed."""
         return all_of(self, events)
 
-    def process(self, generator, name=None):
-        """Start a new process from ``generator`` and return it."""
+    def process(self, generator, name=None, affinity=None):
+        """Start a new process from ``generator`` and return it.
+
+        ``affinity`` tags the process (and, transitively, every event it
+        creates) with a tenant/shard key for the parallel backend's
+        partitioner; it has no effect on scheduling order.
+        """
         self._process_count += 1
-        return Process(self, generator, name=name)
+        return Process(self, generator, name=name, affinity=affinity)
 
     # Alias that reads better at call sites spawning background work.
     spawn = process
@@ -132,25 +173,47 @@ class Simulation:
             if stop_at < self._now:
                 raise ValueError(f"until={stop_at} is in the past (now={self._now})")
 
+        heap = self._heap
         try:
-            while self._heap:
-                when, _seq, item = self._heap[0]
+            while True:
+                wheel_next = self._wheel_next
+                if wheel_next is not None and \
+                        (not heap or wheel_next <= heap[0][0]):
+                    self._advance_wheel()
+                if not heap:
+                    if stop_at is not None:
+                        self._now = stop_at
+                    break
+                when, seq, item = heap[0]
                 if stop_at is not None and when > stop_at:
                     self._now = stop_at
                     break
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)
                 self._now = when
                 self._dispatched += 1
-                if (self._perturb_swap is not None
-                        and self._dispatched >= self._perturb_swap
-                        and self._heap):
-                    self._perturb_swap = None
-                    _when2, _seq2, early = heapq.heappop(self._heap)
-                    self._dispatch_item(early)
-                self._dispatch_item(item)
-            else:
-                if stop_at is not None:
-                    self._now = stop_at
+                self._batches += 1
+                if self._perturb_swap is not None:
+                    if (self._dispatched >= self._perturb_swap and heap):
+                        self._perturb_swap = None
+                        _when2, _seq2, early = heapq.heappop(heap)
+                        self._dispatch_item(early)
+                    self._dispatch_item(item)
+                    continue
+                if heap and heap[0][0] == when:
+                    # Drain the whole ready batch at this timestamp.  Items
+                    # scheduled *by* these dispatches carry higher seqs, so
+                    # finishing the batch before re-draining preserves the
+                    # exact serial order.
+                    batch = [(when, seq, item)]
+                    while heap and heap[0][0] == when:
+                        batch.append(heapq.heappop(heap))
+                    self._dispatched += len(batch) - 1
+                    if self.workers:
+                        self._run_parallel_batch(batch)
+                    else:
+                        self._run_serial_batch(batch)
+                else:
+                    self._dispatch_ready(item)
         except StopSimulation as stop:
             event = stop.args[0]
             if not event.ok:
@@ -168,6 +231,68 @@ class Simulation:
                 raise stop_event.value
             return stop_event.value
         return None
+
+    def _advance_wheel(self):
+        """Flush due wheel buckets so the heap head is the global minimum.
+
+        Loops because a flush can cancel orphans (leaving the heap empty)
+        or cascade entries between levels; terminates since each pass
+        strictly raises the earliest bucket boundary.
+        """
+        heap = self._heap
+        wheel = self._wheel
+        while True:
+            upto = heap[0][0] if heap else self._wheel_next
+            wheel.advance(upto, heap)
+            wheel_next = wheel.earliest_boundary()
+            self._wheel_next = wheel_next
+            if wheel_next is None or (heap and wheel_next > heap[0][0]):
+                break
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+
+    def _run_serial_batch(self, batch):
+        """Dispatch a same-timestamp batch in seq order on this thread."""
+        index = 0
+        try:
+            for index in range(len(batch)):
+                self._dispatch_ready(batch[index][2])
+        except BaseException:
+            # Leave exactly the state a pop-one-at-a-time loop would
+            # have: undispatched items back in the heap, original keys.
+            for entry in batch[index + 1:]:
+                heapq.heappush(self._heap, entry)
+            raise
+
+    def _run_parallel_batch(self, batch):
+        """Dispatch a batch on the worker pool behind the merge barrier."""
+        executor = self._executor
+        if executor is None:
+            from .parallel import ParallelExecutor
+
+            executor = self._executor = ParallelExecutor(self, self.workers)
+        self._parallel_batches += 1
+        undone, exc = executor.run_batch(batch, self._dispatch_ready)
+        if exc is not None:
+            for entry in undone:
+                heapq.heappush(self._heap, entry)
+            raise exc
+
+    def _dispatch_ready(self, item):
+        """Dispatch one popped item, skipping orphaned events.
+
+        An event that is triggered-ok with zero callbacks left (e.g. an
+        ``any_of``-loser ``Timeout`` the winning condition detached from)
+        would process as a pure no-op; marking it processed without the
+        dispatch bookkeeping is observationally identical and cheaper.
+        """
+        if type(item) is not tuple:
+            callbacks = item.callbacks
+            if item._ok and callbacks is not None and not callbacks:
+                item.callbacks = None
+                self._orphans_skipped += 1
+                return
+        self._dispatch_item(item)
 
     def _dispatch_item(self, item):
         """Dispatch one popped heap item (event or bare callback)."""
@@ -191,7 +316,11 @@ class Simulation:
                 detector.end_dispatch()
         else:
             item._process()
-        if not item.ok and not item.defused and isinstance(item, Process):
+        # "Undefused failures crash loudly": any failed event nobody
+        # handled — not just a Process — stops the run.  A waiter (or a
+        # Condition watching the event) defuses on delivery; a failure
+        # with no observer is a bug in the workload, not background noise.
+        if not item.ok and not item.defused:
             raise item.value
 
     @staticmethod
@@ -200,7 +329,37 @@ class Simulation:
 
     def peek(self):
         """Time of the next scheduled event, or ``None`` if none remain."""
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        wheel_next = self._wheel_next
+        if wheel_next is not None and (not heap or wheel_next <= heap[0][0]):
+            self._advance_wheel()
+        return heap[0][0] if heap else None
+
+    def kernel_stats(self):
+        """Counters describing how the kernel executed (perf tooling)."""
+        wheel = self._wheel
+        # `is not None`, not truthiness: TimerWheel defines __len__, so a
+        # drained wheel is falsy and would zero these counters.
+        present = wheel is not None
+        return {
+            "dispatched": self._dispatched,
+            "batches": self._batches,
+            "peak_heap": self._peak_heap,
+            "pending": len(self._heap) + (len(wheel) if present else 0),
+            "wheel_scheduled": wheel.staged if present else 0,
+            "timers_cancelled": wheel.cancelled if present else 0,
+            "orphans_skipped": self._orphans_skipped,
+            "parallel_batches": self._parallel_batches,
+            "workers": self.workers,
+        }
+
+    def close(self):
+        """Shut down the parallel worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     def __repr__(self):
-        return f"<Simulation now={self._now:.6f} pending={len(self._heap)}>"
+        wheel = self._wheel
+        pending = len(self._heap) + (len(wheel) if wheel is not None else 0)
+        return f"<Simulation now={self._now:.6f} pending={pending}>"

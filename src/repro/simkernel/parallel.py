@@ -1,0 +1,186 @@
+"""Opt-in parallel execution backend with a deterministic merge barrier.
+
+``Simulation(workers=N)`` (or ``REPRO_WORKERS=N``) drains each ready
+same-timestamp batch from the heap, partitions it by tenant/shard
+affinity — the same crc32 routing :class:`ShardedFairWorkQueue` uses, so
+a tenant's events land on the same worker the syncer shards them to —
+and hands the partitions to N persistent worker threads.
+
+**The merge barrier.** Dispatching an event runs arbitrary Python
+callbacks against shared state (the MVCC store, work queues, process
+generators), so partitions cannot apply their effects concurrently and
+still converge to the single-threaded state.  The barrier is a
+turnstile: workers execute their partition's entries in order, but each
+dispatch waits for its global ``(time, seq)`` turn, so effects are
+applied in exactly the order the serial loop would apply them.  The
+converged etcd state is therefore byte-identical to ``workers=0`` *by
+construction* — not by luck of scheduling — which the replay bisector
+and the vector-clock race detector gate in CI.  There is no
+configuration in which results may legally differ.
+
+**What can overlap.** Under the turnstile, only work a dispatch performs
+*before its effects* could overlap with other partitions — and under
+CPython's GIL, pure-Python dispatch cannot overlap at all.  On this
+design the thread pool buys structure (affinity partitioning, the
+barrier, the digest gate), not wall-clock, and the recorded kernel
+speedup comes from the serde codegen, timer wheel, and store caches
+(see ``REPRO_KERNEL_LEGACY``); a future free-threaded or subinterpreter
+backend slots in behind the same barrier.
+
+An exception (including :class:`StopSimulation` from ``run(until=
+event)``) aborts the batch: entries past the failing turn are returned
+undispatched so the loop can re-push them with their original heap keys
+— exactly the state a serial run would have left behind.
+"""
+
+import threading
+import zlib
+
+
+def shard_hash(tenant):
+    """Stable (process-independent) tenant hash for shard routing.
+
+    Requires a ``str``: ``str()`` of an arbitrary object falls back to
+    the default repr — which embeds a memory address — so routing would
+    silently differ across processes (linter rule D006).  crc32 over the
+    tenant name's UTF-8 bytes is identical in every process.
+    """
+    if not isinstance(tenant, str):
+        raise TypeError(
+            f"shard_hash needs the tenant name as str, "
+            f"got {type(tenant).__name__}")
+    return zlib.crc32(tenant.encode("utf-8"))
+
+
+class MergeBarrier:
+    """Turnstile granting dispatch turns in global ``(time, seq)`` order."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._seqs = ()
+        self._index = 0
+        self.failure = None  # (seq, exception) of the aborting dispatch
+
+    def start(self, seqs):
+        """Arm the barrier for one batch; ``seqs`` is globally sorted."""
+        self._seqs = seqs
+        self._index = 0
+        self.failure = None
+
+    def acquire_turn(self, seq):
+        """Block until it is ``seq``'s turn; False if the batch aborted."""
+        with self._cond:
+            while True:
+                if self.failure is not None:
+                    return False
+                if self._seqs[self._index] == seq:
+                    return True
+                self._cond.wait()
+
+    def release_turn(self):
+        with self._cond:
+            self._index += 1
+            self._cond.notify_all()
+
+    def fail(self, seq, exc):
+        """Abort the batch: no turn after ``seq`` will be granted."""
+        with self._cond:
+            self.failure = (seq, exc)
+            self._cond.notify_all()
+
+
+class ParallelExecutor:
+    """Persistent worker pool executing partitioned batches."""
+
+    def __init__(self, sim, workers):
+        self.sim = sim
+        self.workers = workers
+        self.batches = 0
+        self._barrier = MergeBarrier()
+        self._dispatch = None
+        self._tasks = [None] * workers
+        self._ready = [threading.Event() for _ in range(workers)]
+        self._done = threading.Condition()
+        self._pending = 0
+        self._stopping = False
+        self._threads = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(index,),
+                name=f"sim-worker-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def partition(self, entries):
+        """Split batch entries across workers by tenant affinity.
+
+        Entries whose item carries a (process-inherited) ``affinity``
+        route by crc32 like the syncer's shards; the rest round-robin.
+        Partition choice can never affect results — the merge barrier
+        fixes the global effect order — it only decides which turns
+        *could* overlap.
+        """
+        parts = [[] for _ in range(self.workers)]
+        for index, entry in enumerate(entries):
+            affinity = getattr(entry[2], "affinity", None)
+            if affinity is not None:
+                slot = shard_hash(affinity) % self.workers
+            else:
+                slot = index % self.workers
+            parts[slot].append(entry)
+        return parts
+
+    def run_batch(self, entries, dispatch):
+        """Execute one same-timestamp batch; returns (undone, exception).
+
+        ``entries`` are ``(when, seq, item)`` in ascending seq order.  On
+        an abort, ``undone`` holds every entry after the failing turn, in
+        original heap-key form, for the caller to re-push.
+        """
+        self.batches += 1
+        parts = [p for p in self.partition(entries) if p]
+        self._dispatch = dispatch
+        self._barrier.start([entry[1] for entry in entries])
+        with self._done:
+            self._pending = len(parts)
+        for index, part in enumerate(parts):
+            self._tasks[index] = part
+            self._ready[index].set()
+        with self._done:
+            while self._pending:
+                self._done.wait()
+        failure = self._barrier.failure
+        if failure is None:
+            return (), None
+        seq, exc = failure
+        return [entry for entry in entries if entry[1] > seq], exc
+
+    def _worker_loop(self, index):
+        ready = self._ready[index]
+        barrier = self._barrier
+        while True:
+            ready.wait()
+            ready.clear()
+            if self._stopping:
+                return
+            for _when, seq, item in self._tasks[index]:
+                if not barrier.acquire_turn(seq):
+                    break
+                try:
+                    self._dispatch(item)
+                except BaseException as exc:  # noqa: BLE001 — reported to caller
+                    barrier.fail(seq, exc)
+                    break
+                barrier.release_turn()
+            self._tasks[index] = None
+            with self._done:
+                self._pending -= 1
+                if not self._pending:
+                    self._done.notify_all()
+
+    def close(self):
+        self._stopping = True
+        for event in self._ready:
+            event.set()
+        for thread in self._threads:
+            thread.join(timeout=1.0)

@@ -13,12 +13,16 @@ from .events import Event
 class Process(Event):
     """Wraps a generator and drives it through the event loop."""
 
-    def __init__(self, sim, generator, name=None):
+    def __init__(self, sim, generator, name=None, affinity=None):
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        if affinity is not None:
+            # Explicit tag wins over the affinity inherited (via
+            # Event.__init__) from the spawning process.
+            self.affinity = affinity
         self._waiting_on = None
         if sim.race_detector is not None:
             sim.race_detector.register_process(self)
@@ -47,12 +51,9 @@ class Process(Event):
         if self.triggered:
             return
         waited = self._waiting_on
-        if waited is not None and not waited.processed:
+        if waited is not None:
             # Detach: the interrupted wait must not resume the process later.
-            try:
-                waited.callbacks.remove(self._resume)
-            except (ValueError, AttributeError):
-                pass
+            waited._detach(self._resume)
         self._waiting_on = None
         self._step(Interrupt(cause), throw=True)
 

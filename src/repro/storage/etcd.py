@@ -15,6 +15,9 @@ deep-copies values in and out, like a real store serializes to bytes, so
 callers can never alias stored state.
 """
 
+import os
+from bisect import bisect_left
+
 from repro.objects.base import fast_deep_copy
 from repro.telemetry import telemetry_of
 
@@ -30,6 +33,12 @@ from .errors import (
 
 EVENT_PUT = "PUT"
 EVENT_DELETE = "DELETE"
+
+# REPRO_KERNEL_LEGACY=1 restores the pre-optimization set-based prefix
+# index (a full sort on every list/count) alongside the kernel's legacy
+# paths, so the speedup benchmark ablates against the seed's behavior.
+# Results are byte-identical either way.
+_LEGACY_INDEX = bool(os.environ.get("REPRO_KERNEL_LEGACY"))
 
 
 class StoredValue:
@@ -178,17 +187,42 @@ class EtcdStore:
         parts = key.split("/", 3)
         return "/".join(parts[:3])
 
+    # Buckets hold their keys as persistently *sorted* lists maintained by
+    # bisect on write, so prefix reads are a binary search + slice instead
+    # of the full re-sort the old set-based index paid on every
+    # list_prefix/count_prefix call.  Keys sharing a prefix are contiguous
+    # in sorted order, which also makes count_prefix allocation-free.
+
     def _index_add(self, key):
-        self._buckets.setdefault(self._bucket_of(key), set()).add(key)
+        keys = self._buckets.setdefault(self._bucket_of(key), [])
+        index = bisect_left(keys, key)
+        if index == len(keys) or keys[index] != key:
+            keys.insert(index, key)
 
     def _index_remove(self, key):
-        bucket = self._buckets.get(self._bucket_of(key))
-        if bucket is not None:
-            bucket.discard(key)
+        keys = self._buckets.get(self._bucket_of(key))
+        if keys is not None:
+            index = bisect_left(keys, key)
+            if index < len(keys) and keys[index] == key:
+                del keys[index]
+
+    def _prefix_range(self, prefix):
+        """(keys, lo, hi) bounding the sorted bucket run under ``prefix``.
+
+        The upper bound appends a max-codepoint sentinel: every key that
+        starts with ``prefix`` sorts below it (store keys are ASCII
+        registry paths, which can never begin a suffix with U+10FFFF).
+        """
+        keys = self._buckets.get(self._bucket_of(prefix))
+        if keys is None:
+            return (), 0, 0
+        lo = bisect_left(keys, prefix)
+        hi = bisect_left(keys, prefix + "\U0010ffff", lo=lo)
+        return keys, lo, hi
 
     def _keys_under(self, prefix):
-        keys = self._buckets.get(self._bucket_of(prefix), ())
-        return sorted(k for k in keys if k.startswith(prefix))
+        keys, lo, hi = self._prefix_range(prefix)
+        return keys[lo:hi] if keys else []
 
     # ------------------------------------------------------------------
     # Basic KV operations (synchronous; latency is charged by the caller)
@@ -362,7 +396,14 @@ class EtcdStore:
         return items, self._revision
 
     def count_prefix(self, prefix):
-        return len(self._keys_under(prefix))
+        """Number of keys under a prefix, without materializing them.
+
+        A pure bisect over the sorted bucket: no per-call sort (the old
+        implementation sorted the whole bucket just to take ``len()``)
+        and no list allocation.
+        """
+        _keys, lo, hi = self._prefix_range(prefix)
+        return hi - lo
 
     # ------------------------------------------------------------------
     # Watch
@@ -673,3 +714,29 @@ class EtcdStore:
             "recoveries": self.recoveries,
             "wal": self.wal.stats() if self.wal is not None else None,
         }
+
+
+if _LEGACY_INDEX:
+    # The seed's index: buckets are plain sets, every prefix read pays a
+    # filter + full sort, and count_prefix materializes the sorted list
+    # just to take its length.  Kept verbatim as the ablation baseline.
+
+    def _legacy_index_add(self, key):
+        self._buckets.setdefault(self._bucket_of(key), set()).add(key)
+
+    def _legacy_index_remove(self, key):
+        bucket = self._buckets.get(self._bucket_of(key))
+        if bucket is not None:
+            bucket.discard(key)
+
+    def _legacy_keys_under(self, prefix):
+        keys = self._buckets.get(self._bucket_of(prefix), ())
+        return sorted(k for k in keys if k.startswith(prefix))
+
+    def _legacy_count_prefix(self, prefix):
+        return len(self._legacy_keys_under(prefix))
+
+    EtcdStore._index_add = _legacy_index_add
+    EtcdStore._index_remove = _legacy_index_remove
+    EtcdStore._keys_under = _legacy_keys_under
+    EtcdStore.count_prefix = _legacy_count_prefix

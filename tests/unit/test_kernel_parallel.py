@@ -1,0 +1,422 @@
+"""Unit tests for the kernel's execution machinery added for the
+parallel backend: the hierarchical timer wheel, the deterministic merge
+barrier, orphan-timer cancellation, and the kernel-correctness bugfix
+sweep (late-failing ``any_of`` losers, waiter-abandonment defusing, and
+the Event-wide undefused-failure check)."""
+
+import threading
+
+import pytest
+
+from repro.simkernel import Simulation
+from repro.simkernel.parallel import MergeBarrier, ParallelExecutor, shard_hash
+from repro.simkernel.timerwheel import GRANULARITY, MIN_WHEEL_DELAY, SPAN
+
+
+# ----------------------------------------------------------------------
+# Timer wheel
+# ----------------------------------------------------------------------
+
+
+class TestTimerWheel:
+    def test_far_timers_are_staged_off_the_heap(self):
+        sim = Simulation()
+        fired = []
+        for delay in (1.0, 10.0, 300.0):
+            sim.timeout(delay).add_callback(
+                lambda e, d=delay: fired.append((sim.now, d)))
+        stats = sim.kernel_stats()
+        assert stats["wheel_scheduled"] == 3
+        assert len(sim._heap) == 0  # nothing due: all staged in the wheel
+        sim.run()
+        assert fired == [(1.0, 1.0), (10.0, 10.0), (300.0, 300.0)]
+
+    def test_near_timers_bypass_the_wheel(self):
+        sim = Simulation()
+        sim.timeout(MIN_WHEEL_DELAY / 2).add_callback(lambda e: None)
+        assert sim.kernel_stats()["wheel_scheduled"] == 0
+        assert len(sim._heap) == 1
+
+    def test_wheel_and_heap_tie_fires_in_creation_order(self):
+        """Same fire time, one entry staged in the wheel and one in the
+        heap: the original (time, seq) keys decide, not the staging path."""
+        sim = Simulation()
+        order = []
+        # seq 1: delay 0.5 from t=0 -> wheel.
+        sim.timeout(0.5).add_callback(lambda e: order.append("wheel"))
+        sim.run(until=0.3)
+        # seq 2: delay 0.2 from t=0.3 -> heap, same fire time 0.5.
+        sim.timeout(0.2).add_callback(lambda e: order.append("heap"))
+        sim.run()
+        assert sim.now == 0.5
+        assert order == ["wheel", "heap"]
+
+    def test_same_time_wheel_entries_keep_seq_order(self):
+        sim = Simulation()
+        order = []
+        for name in ("a", "b", "c"):
+            sim.timeout(2.0).add_callback(
+                lambda e, n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_long_timers_cascade_across_levels(self):
+        # Level 1 starts at GRANULARITY * SPAN, level 2 at
+        # GRANULARITY * SPAN**2; both must step down and fire exactly.
+        level1_delay = GRANULARITY * SPAN * 3      # 48 s
+        level2_delay = GRANULARITY * SPAN ** 2 * 2  # 2048 s
+        sim = Simulation()
+        fired = []
+        sim.timeout(level2_delay).add_callback(
+            lambda e: fired.append(sim.now))
+        sim.timeout(level1_delay).add_callback(
+            lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [level1_delay, level2_delay]
+        assert sim.now == level2_delay
+
+    def test_interleaved_near_and_far_timers_dispatch_in_time_order(self):
+        sim = Simulation()
+        fired = []
+        delays = [0.1, 7.0, 0.26, 100.0, 3.0, 0.24, 17.0, 0.5]
+        for delay in delays:
+            sim.timeout(delay).add_callback(
+                lambda e, d=delay: fired.append((sim.now, d)))
+        sim.run()
+        assert fired == sorted((d, d) for d in delays)
+
+    def test_peek_sees_wheel_entries(self):
+        sim = Simulation()
+        sim.timeout(5.0).add_callback(lambda e: None)
+        assert sim.peek() == 5.0
+        sim.run()
+        assert sim.peek() is None
+
+    def test_pending_counts_wheel_entries(self):
+        sim = Simulation()
+        sim.timeout(5.0).add_callback(lambda e: None)
+        sim.timeout(0.1).add_callback(lambda e: None)
+        assert sim.kernel_stats()["pending"] == 2
+
+
+# ----------------------------------------------------------------------
+# Orphan cancellation (the any_of-loser Timeout satellite)
+# ----------------------------------------------------------------------
+
+
+class TestOrphanCancellation:
+    def test_any_of_loser_in_wheel_is_cancelled(self):
+        """A losing Timeout staged in the wheel never reaches the heap:
+        the run ends at the winner's time, not the loser's deadline."""
+        sim = Simulation()
+
+        def proc():
+            yield sim.any_of([sim.timeout(1.0, value="fast"),
+                              sim.timeout(600.0, value="slow")])
+
+        sim.process(proc())
+        sim.run()
+        assert sim.now == 1.0  # pre-fix: the loop idled until t=600
+        assert sim.kernel_stats()["timers_cancelled"] == 1
+        assert sim.kernel_stats()["pending"] == 0
+
+    def test_any_of_loser_in_heap_is_skipped(self):
+        sim = Simulation()
+
+        def proc():
+            # Both delays below MIN_WHEEL_DELAY: both go to the heap, so
+            # the loser is skipped at pop time instead of flush time.
+            yield sim.any_of([sim.timeout(0.1, value="fast"),
+                              sim.timeout(0.2, value="slow")])
+
+        sim.process(proc())
+        sim.run()
+        assert sim.kernel_stats()["orphans_skipped"] >= 1
+
+    def test_detached_condition_still_delivers_to_other_waiter(self):
+        """Orphaning only drops the *condition's* callback: another
+        process waiting on the loser directly still gets its value."""
+        sim = Simulation()
+        seen = []
+
+        def waiter(event):
+            value = yield event
+            seen.append((sim.now, value))
+
+        def racer(event):
+            yield sim.any_of([sim.timeout(1.0, value="fast"), event])
+
+        slow = sim.timeout(10.0, value="slow")
+        sim.process(racer(slow))
+        sim.process(waiter(slow))
+        sim.run()
+        assert seen == [(10.0, "slow")]
+
+
+# ----------------------------------------------------------------------
+# Bugfix sweep regressions
+# ----------------------------------------------------------------------
+
+
+class TestUndefusedFailures:
+    def test_late_failure_of_any_of_loser_surfaces(self):
+        """A constituent that fails *after* the condition already
+        triggered must not be swallowed by Condition._on_event: with no
+        other waiter, the undefused failure crashes the run loudly."""
+        sim = Simulation()
+
+        def loser():
+            yield sim.timeout(5)
+            raise RuntimeError("late boom")
+
+        def racer():
+            yield sim.any_of([sim.timeout(1), sim.process(loser())])
+
+        sim.process(racer())
+        with pytest.raises(RuntimeError, match="late boom"):
+            sim.run()
+
+    def test_late_failure_with_direct_waiter_is_delivered(self):
+        sim = Simulation()
+        caught = []
+
+        def loser():
+            yield sim.timeout(5)
+            raise RuntimeError("late boom")
+
+        def racer(proc):
+            yield sim.any_of([sim.timeout(1), proc])
+
+        def handler(proc):
+            try:
+                yield proc
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        proc = sim.process(loser())
+        sim.process(racer(proc))
+        sim.process(handler(proc))
+        sim.run()
+        assert caught == ["late boom"]
+
+    def test_plain_event_unobserved_failure_crashes_run(self):
+        """The undefused-failure check covers every Event, not only
+        Process: a failed bare event with no waiter stops the run."""
+        sim = Simulation()
+        sim.event().fail(RuntimeError("nobody watching"))
+        with pytest.raises(RuntimeError, match="nobody watching"):
+            sim.run()
+
+    def test_defused_event_failure_passes_silently(self):
+        sim = Simulation()
+        event = sim.event()
+        event.fail(RuntimeError("handled elsewhere"))
+        event.defused = True
+        sim.run()
+        assert sim.kernel_stats()["pending"] == 0
+
+    def test_detaching_last_waiter_defuses_failed_event(self):
+        """Walking away from a failed event (e.g. an interrupted worker
+        abandoning a queue wait) counts as handling it."""
+        sim = Simulation()
+        event = sim.event()
+        callback = lambda e: None  # noqa: E731
+        event.add_callback(callback)
+        event.fail(RuntimeError("queue shut down"))
+        event._detach(callback)
+        assert event.defused
+        sim.run()  # must not raise
+
+    def test_detaching_from_pending_event_does_not_defuse(self):
+        sim = Simulation()
+        event = sim.event()
+        callback = lambda e: None  # noqa: E731
+        event.add_callback(callback)
+        event._detach(callback)
+        assert not event.defused
+
+
+# ----------------------------------------------------------------------
+# Merge barrier & partitioning
+# ----------------------------------------------------------------------
+
+
+class TestMergeBarrier:
+    def test_turns_granted_in_global_seq_order(self):
+        barrier = MergeBarrier()
+        barrier.start((3, 5, 9))
+        order = []
+
+        def worker(seq):
+            assert barrier.acquire_turn(seq)
+            order.append(seq)
+            barrier.release_turn()
+
+        threads = [threading.Thread(target=worker, args=(seq,))
+                   for seq in (9, 5, 3)]  # deliberately reversed start
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert order == [3, 5, 9]
+
+    def test_fail_denies_later_turns(self):
+        barrier = MergeBarrier()
+        barrier.start((1, 2))
+        boom = RuntimeError("boom")
+        barrier.fail(1, boom)
+        assert barrier.acquire_turn(2) is False
+        assert barrier.failure == (1, boom)
+
+
+class TestPartitioning:
+    def test_affinity_routes_like_the_sharded_queue(self):
+        sim = Simulation()
+        executor = ParallelExecutor(sim, workers=4)
+        try:
+            class Item:
+                def __init__(self, affinity):
+                    self.affinity = affinity
+
+            entries = [(0.0, seq, Item(f"tenant-{seq % 3}"))
+                       for seq in range(12)]
+            parts = executor.partition(entries)
+            for part in parts:
+                for _when, seq, item in part:
+                    expected = shard_hash(item.affinity) % 4
+                    assert parts[expected] is part
+        finally:
+            executor.close()
+
+    def test_no_affinity_round_robins(self):
+        sim = Simulation()
+        executor = ParallelExecutor(sim, workers=2)
+        try:
+            class Item:
+                affinity = None
+
+            entries = [(0.0, seq, Item()) for seq in range(4)]
+            parts = executor.partition(entries)
+            assert [len(part) for part in parts] == [2, 2]
+        finally:
+            executor.close()
+
+
+class TestAffinityPropagation:
+    def test_process_affinity_inherited_by_its_events(self):
+        sim = Simulation()
+        seen = {}
+
+        def proc():
+            timer = sim.timeout(1)
+            seen["affinity"] = timer.affinity
+            yield timer
+
+        sim.process(proc(), affinity="tenant-a")
+        sim.run()
+        assert seen["affinity"] == "tenant-a"
+
+    def test_events_without_process_have_no_affinity(self):
+        sim = Simulation()
+        assert sim.timeout(1).affinity is None
+
+
+# ----------------------------------------------------------------------
+# Parallel execution: serial equivalence on the kernel itself
+# ----------------------------------------------------------------------
+
+
+def _traced_run(workers, seed=7):
+    """A same-timestamp-heavy workload; returns its dispatch trace."""
+    sim = Simulation(seed=seed, workers=workers)
+    trace = []
+
+    def worker(index, tenant):
+        for step in range(6):
+            delay = sim.rng.choice([0.0, 0.1, 0.25, 0.5, 1.0])
+            yield sim.timeout(delay)
+            trace.append((round(sim.now, 9), index, step))
+
+    for index in range(9):
+        sim.process(worker(index, f"tenant-{index % 3}"),
+                    affinity=f"tenant-{index % 3}")
+    sim.run()
+    stats = sim.kernel_stats()
+    sim.close()
+    return trace, stats
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_trace_identical_to_serial(self, workers):
+        serial, _ = _traced_run(0)
+        parallel, stats = _traced_run(workers)
+        assert parallel == serial
+        assert stats["workers"] == workers
+        assert stats["parallel_batches"] > 0
+
+    def test_batch_abort_leaves_serial_heap_state(self):
+        """An undefused failure mid-batch re-pushes the untouched tail
+        with original keys, identically in serial and parallel mode."""
+
+        def run_once(workers):
+            sim = Simulation(workers=workers)
+            order = []
+            for index in range(6):
+                event = sim.event()
+                if index == 2:
+                    event.fail(RuntimeError("boom"))
+                else:
+                    event.succeed(index)
+                    event.add_callback(
+                        lambda e: order.append(e.value))
+            with pytest.raises(RuntimeError, match="boom"):
+                sim.run()
+            at_abort = list(order)
+            sim.run()  # resume: the re-pushed tail dispatches in order
+            sim.close()
+            return at_abort, order
+
+        assert run_once(2) == run_once(0) == ([0, 1], [0, 1, 3, 4, 5])
+
+    def test_run_until_event_stops_identically(self):
+        def run_once(workers):
+            sim = Simulation(workers=workers)
+            order = []
+
+            def maker(name):
+                def proc():
+                    yield sim.timeout(1.0)
+                    order.append(name)
+                    return name
+
+                return proc()
+
+            sim.process(maker("a"))
+            stopper = sim.process(maker("b"))
+            sim.process(maker("c"))
+            result = sim.run(until=stopper)
+            at_stop = list(order)
+            sim.run()
+            sim.close()
+            return result, at_stop, order
+
+        assert run_once(2) == run_once(0)
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            Simulation(workers=-1)
+
+    def test_env_var_selects_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        sim = Simulation()
+        assert sim.workers == 3
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert Simulation().workers == 0
+
+
+class TestShardHashReExport:
+    def test_fairqueue_still_exports_shard_hash(self):
+        from repro.clientgo.fairqueue import shard_hash as exported
+
+        assert exported is shard_hash
