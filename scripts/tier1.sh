@@ -57,9 +57,11 @@
 # determinism, timer-wheel ordering, digest-equality properties).
 #
 # --lint runs the determinism linter (repro.analysis) over src/ in
-# strict mode against the committed allowlist, then the lint-marked
-# CLI smoke tests.  Exit 0 means zero non-allowlisted findings and no
-# stale suppressions or allowlist entries.
+# strict mode against the committed allowlist, then the whole-program
+# concurrency/protocol staticcheck (C001-C006) in strict mode, then
+# the lint- and staticcheck-marked CLI smoke tests.  Exit 0 means zero
+# non-allowlisted findings and no stale suppressions or allowlist
+# entries in either pack.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -154,9 +156,13 @@ if [[ "${1:-}" == "--lint" ]]; then
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python -m repro.analysis lint src --strict \
         --allowlist analysis-allowlist.txt
-    echo "tier1: lint-marked CLI smoke tests" >&2
+    echo "tier1: concurrency/protocol staticcheck (strict) over src/" >&2
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-        python -m pytest -x -q -m lint
+        python -m repro.analysis staticcheck src --strict \
+        --allowlist analysis-allowlist.txt
+    echo "tier1: lint- and staticcheck-marked CLI smoke tests" >&2
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -x -q -m "lint or staticcheck"
     exit 0
 fi
 

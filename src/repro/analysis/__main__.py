@@ -3,12 +3,14 @@
 Usage::
 
     PYTHONPATH=src python -m repro.analysis lint src/ [--strict]
+    PYTHONPATH=src python -m repro.analysis staticcheck src/ [--strict]
     PYTHONPATH=src python -m repro.analysis race --seed 0
     PYTHONPATH=src python -m repro.analysis bisect --seed 0 [--perturb K]
     PYTHONPATH=src python -m repro.analysis rules
 
 Exit codes: 0 clean; 1 usage/internal error; 2 findings (active lint
-findings, race conflicts, or a localized replay divergence).
+or staticcheck findings, race conflicts, or a localized replay
+divergence).
 """
 
 import argparse
@@ -19,6 +21,7 @@ from .bisect import bisect_seed
 from .linter import format_report, lint_paths, load_allowlist
 from .racedetect import run_under_detector
 from .rules import format_rule_catalog
+from .staticcheck import check_paths, format_json, format_sarif
 
 DEFAULT_ALLOWLIST = "analysis-allowlist.txt"
 
@@ -41,6 +44,33 @@ def _cmd_lint(args):
         return 1
     result = lint_paths(args.paths, allowlist=allowlist, strict=args.strict)
     print(format_report(result, verbose=args.verbose))
+    return 0 if result.ok else 2
+
+
+def _cmd_staticcheck(args):
+    allowlist = ()
+    allowlist_path = args.allowlist
+    if allowlist_path is None and Path(DEFAULT_ALLOWLIST).is_file():
+        allowlist_path = DEFAULT_ALLOWLIST
+    if allowlist_path is not None:
+        try:
+            allowlist = load_allowlist(allowlist_path)
+        except (OSError, ValueError) as exc:
+            print(f"staticcheck: bad allowlist: {exc}", file=sys.stderr)
+            return 1
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"staticcheck: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    result = check_paths(args.paths, allowlist=allowlist,
+                         strict=args.strict)
+    if args.format == "json":
+        print(format_json(result))
+    elif args.format == "sarif":
+        print(format_sarif(result))
+    else:
+        print(format_report(result, verbose=args.verbose))
     return 0 if result.ok else 2
 
 
@@ -98,6 +128,26 @@ def main(argv=None):
     lint.add_argument("--verbose", action="store_true",
                       help="print suppressed and allowlisted findings too")
     lint.set_defaults(func=_cmd_lint)
+
+    staticcheck = sub.add_parser(
+        "staticcheck",
+        help="run the whole-program concurrency/protocol checker")
+    staticcheck.add_argument("paths", nargs="+",
+                             help="files or trees to check")
+    staticcheck.add_argument(
+        "--allowlist", default=None,
+        help=f"allowlist file (default: {DEFAULT_ALLOWLIST} in the "
+             f"current directory, when present)")
+    staticcheck.add_argument(
+        "--strict", action="store_true",
+        help="also fail stale C-rule suppressions/allowlist entries")
+    staticcheck.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)")
+    staticcheck.add_argument(
+        "--verbose", action="store_true",
+        help="print suppressed and allowlisted findings too (text)")
+    staticcheck.set_defaults(func=_cmd_staticcheck)
 
     race = sub.add_parser("race",
                           help="run a deployment under the race detector")

@@ -576,8 +576,13 @@ def lint_paths(paths, allowlist=(), strict=False):
                 continue
             result.active.append(finding)
         if strict:
+            # Staleness is scoped to the pack this tool owns: C-rule
+            # suppressions belong to repro.analysis.staticcheck, which
+            # runs its own strict check over them.
             for lineno, codes in sorted(suppressions.items()):
                 for code in sorted(codes):
+                    if not code.startswith("D"):
+                        continue
                     if (lineno, code) not in used_suppressions:
                         result.stale.append(Finding(
                             rel, lineno, 0, "D000",
@@ -585,6 +590,8 @@ def lint_paths(paths, allowlist=(), strict=False):
                             f"this line (remove the allow comment)"))
     if strict:
         for entry in allowlist:
+            if not entry[1].startswith("D"):
+                continue
             if entry not in used_allowlist:
                 result.stale.append(Finding(
                     entry[0], 0, 0, "D000",

@@ -1,9 +1,18 @@
-"""The determinism rule catalog (D001–D006).
+"""The analysis rule catalog: determinism (D-pack) and concurrency
+(C-pack) rules.
 
-Each rule names one mechanism by which a code path can make a
+Each D-rule names one mechanism by which a code path can make a
 scheduling-visible decision that is not a pure function of the
 simulation seed — exactly the failures that silently break the repo's
-byte-identical-convergence and chaos-replay claims.
+byte-identical-convergence and chaos-replay claims.  They are checked
+per-module by :mod:`repro.analysis.linter`.
+
+Each C-rule names one concurrency or protocol hazard that is visible
+in the source but only *manifests* under a particular schedule — the
+bug classes the vector-clock race detector can catch only dynamically,
+per-schedule, and that PR 9's kernel sweep fixed by hand.  They are
+checked whole-program by :mod:`repro.analysis.staticcheck`, which
+builds a project-wide symbol table and call graph first.
 
 Suppression syntax
 ------------------
@@ -76,10 +85,77 @@ RULES = {
         "str() of a non-string depend on memory addresses or per-process "
         "hash seeds, so 'stable' routing or digests silently stop being "
         "stable (e.g. tenant->shard routing must hash canonical bytes)."),
+    "C000": Rule(
+        "C000", "invalid or stale staticcheck suppression",
+        "A '# repro: allow[...]' comment names a C-rule with no matching "
+        "staticcheck finding on that line (--strict), or an allowlist "
+        "entry for a C-rule matches nothing.  Meta-rule: C000 itself "
+        "cannot be suppressed."),
+    "C001": Rule(
+        "C001", "blocking kernel wait while holding a lock",
+        "A sim process yields a blocking kernel wait (sim.timeout, "
+        "any_of/all_of, a Condition) between Lock/Semaphore acquire and "
+        "release.  Every other process needing that lock stalls for the "
+        "full wait — and if the wait can only be satisfied by a process "
+        "that needs the lock, the simulation deadlocks.  Model timed "
+        "critical sections deliberately or release before waiting."),
+    "C002": Rule(
+        "C002", "lock-order inversion (deadlock cycle)",
+        "The interprocedural lock-acquisition graph — an edge A->B when "
+        "lock B is acquired (possibly through calls) while A is held — "
+        "contains a cycle.  Two processes entering the cycle from "
+        "different edges deadlock under the right schedule; the kernel's "
+        "FIFO locks make this unrecoverable.  Acquire locks in one "
+        "global order."),
+    "C003": Rule(
+        "C003", "module-level mutable state written from sim-process code",
+        "A module-level dict/list/set/counter is mutated from code "
+        "reachable by sim processes without a registered happens-before "
+        "carrier.  Under the parallel backend this is a data-race hazard "
+        "the vector-clock detector can only catch dynamically, "
+        "per-schedule — and it leaks state across Simulation instances "
+        "in one interpreter.  Own the state per-sim, or mark the "
+        "definition '# repro: hb-carrier[why]' if access is provably "
+        "kernel-ordered."),
+    "C004": Rule(
+        "C004", "orphaned Timeout/Event (created and dropped)",
+        "A Timeout/Event is created but never awaited, cancelled, "
+        "combined, stored, or returned on some path.  Orphaned timers "
+        "sit in the heap/wheel until their deadline (the peak-heap blowup "
+        "PR 9 fixed), and an orphaned Event that later fails crashes the "
+        "run as an undefused failure with no waiter to attribute it to."),
+    "C005": Rule(
+        "C005", "unfenced store write from a leader-elected component",
+        "A write path inside a leader-elected component (SyncerHA, "
+        "ControllerManager, the ReplicatedStore coordinator) reaches the "
+        "store without the fencing-token check: a transaction(...) with "
+        "no fencing= argument, or a raw store put/delete/txn.  A deposed "
+        "leader's in-flight writes would land after the new leader's "
+        "fence barrier — the split-brain window fencing exists for."),
+    "C006": Rule(
+        "C006", "process spawned in an affinity scope without affinity",
+        "sim.process()/spawn() is called without affinity= from code "
+        "that has a tenant in hand.  The spawned process (and every "
+        "event it creates) falls off its tenant's partition: harmless "
+        "for results — the merge barrier fixes dispatch order — but it "
+        "round-robins tenant work across workers, defeating the "
+        "affinity partitioning the parallel backend exists for.  Pass "
+        "affinity=<tenant> (an explicit tag always wins)."),
 }
 
-# Codes that may appear in allow[...] comments (D000 is the meta rule).
-SUPPRESSIBLE = frozenset(code for code in RULES if code != "D000")
+# Rule packs: prefix -> (name, checker) shown by `rules` and used to
+# scope --strict staleness checks to the tool that owns the code.
+RULE_PACKS = {
+    "D": ("determinism", "python -m repro.analysis lint"),
+    "C": ("concurrency/protocol", "python -m repro.analysis staticcheck"),
+}
+
+# Meta rules report invalid/stale suppressions and cannot themselves be
+# suppressed.
+META_RULES = frozenset(("D000", "C000"))
+
+# Codes that may appear in allow[...] comments.
+SUPPRESSIBLE = frozenset(code for code in RULES if code not in META_RULES)
 
 
 class Finding:
@@ -114,12 +190,19 @@ class Finding:
 
 
 def format_rule_catalog():
-    """The ``python -m repro.analysis rules`` output."""
-    lines = ["determinism rule catalog", ""]
-    for code in sorted(RULES):
-        rule = RULES[code]
-        lines.append(f"{code}  {rule.title}")
-        lines.append(f"      {rule.rationale}")
+    """The ``python -m repro.analysis rules`` output (both packs)."""
+    lines = ["analysis rule catalog", ""]
+    for prefix in sorted(RULE_PACKS):
+        pack_name, checker = RULE_PACKS[prefix]
+        lines.append(f"{prefix}-pack: {pack_name} rules ({checker})")
         lines.append("")
+        for code in sorted(code for code in RULES
+                           if code.startswith(prefix)):
+            rule = RULES[code]
+            lines.append(f"{code}  {rule.title}")
+            lines.append(f"      {rule.rationale}")
+            lines.append("")
     lines.append("suppress in place:  # repro: allow[DXXX] justification")
+    lines.append("exempt a checked happens-before carrier at its "
+                 "definition:  # repro: hb-carrier[why]")
     return "\n".join(lines)

@@ -473,7 +473,7 @@ class Syncer:
             if tenant in self.tenants:
                 self.upward.add(tenant, (plural, key))
 
-        self.spawn(later(), name=f"uws-retry-{plural}")
+        self.spawn(later(), name=f"uws-retry-{plural}", affinity=tenant)
 
     # ------------------------------------------------------------------
     # Namespace mapping
@@ -554,8 +554,9 @@ class Syncer:
         for tenant in self.tenants:
             self.scanner.start_tenant(tenant)
         self.vnodes.start()
-        self._processes.append(self.spawn(self._memory_sampler(),
-                                          name=f"{self.name}-mem-sampler"))
+        self._processes.append(self.spawn(  # repro: allow[C006] syncer-wide sampler, not tenant work
+            self._memory_sampler(),
+            name=f"{self.name}-mem-sampler"))
 
     def stop_processing(self):
         """Stop reconciling but keep informer caches warm.
@@ -711,7 +712,7 @@ class Syncer:
                     # lock per dispatch shard.
                     yield dws_lock.acquire()
                     try:
-                        yield self.sim.timeout(cfg.dws_dequeue_cs)
+                        yield self.sim.timeout(cfg.dws_dequeue_cs)  # repro: allow[C001] modeled dequeue critical-section cost; contention is the measured effect
                     finally:
                         dws_lock.release()
                     self.cpu.charge(cfg.dws_dequeue_cs,
@@ -760,7 +761,7 @@ class Syncer:
                                           resource=plural):
                     yield uws_lock.acquire()
                     try:
-                        yield self.sim.timeout(cfg.uws_dequeue_cs)
+                        yield self.sim.timeout(cfg.uws_dequeue_cs)  # repro: allow[C001] modeled dequeue critical-section cost; contention is the measured effect
                     finally:
                         uws_lock.release()
                     self.cpu.charge(cfg.uws_dequeue_cs,

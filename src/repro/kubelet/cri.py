@@ -8,6 +8,28 @@ full method list stubbed in the abstract base so runtimes are honest
 about what they support.
 """
 
+import itertools
+
+
+def next_runtime_serial(sim, runtime_name):
+    """The next sandbox/container serial for ``runtime_name`` on ``sim``.
+
+    Counters hang off the Simulation (one independent sequence per
+    runtime kind), so IDs are deterministic per run and never leak
+    across Simulation instances in one interpreter — a module-level
+    counter would hand the second simulation in a process different IDs
+    than the first.
+    """
+    counters = getattr(sim, "_cri_serials", None)
+    if counters is None:
+        counters = {}
+        sim._cri_serials = counters
+    counter = counters.get(runtime_name)
+    if counter is None:
+        counter = itertools.count(1)
+        counters[runtime_name] = counter
+    return next(counter)
+
 
 class ContainerState:
     CREATED = "created"

@@ -7,13 +7,10 @@ enhanced kubeproxy and apply them to the guest iptables — the key to
 making cluster-IP services work when pod traffic bypasses the host.
 """
 
-import itertools
-
 from repro.network import NetworkStack, RpcServer
 
-from ..cri import ContainerHandle, ContainerRuntime, ContainerState, SandboxHandle
-
-_ids = itertools.count(1)
+from ..cri import (ContainerHandle, ContainerRuntime, ContainerState,
+                   SandboxHandle, next_runtime_serial)
 
 
 class KataAgent:
@@ -84,7 +81,7 @@ class KataRuntime(ContainerRuntime):
     def run_pod_sandbox(self, pod):
         """Boot the guest VM and attach its ENI to the tenant VPC."""
         yield self.sim.timeout(self.config.kubelet.kata_sandbox_boot)
-        sandbox_id = f"kata-sb-{next(_ids):06d}"
+        sandbox_id = f"kata-sb-{next_runtime_serial(self.sim, 'kata'):06d}"
         guest_stack = NetworkStack(name=f"guest-{sandbox_id}")
         eni = self.vpc.attach(guest_stack)
         agent = KataAgent(self.sim, self.config, guest_stack,
@@ -124,7 +121,7 @@ class KataRuntime(ContainerRuntime):
     def create_container(self, sandbox, container_spec):
         yield self.sim.timeout(0.02)
         return ContainerHandle(
-            container_id=f"kata-c-{next(_ids):06d}",
+            container_id=f"kata-c-{next_runtime_serial(self.sim, 'kata'):06d}",
             sandbox=sandbox,
             name=container_spec.name,
             image=container_spec.image,

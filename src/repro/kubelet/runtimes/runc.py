@@ -5,11 +5,8 @@ the stock kubeproxy works for them: the service DNAT rules in the host
 iptables apply to their traffic.
 """
 
-import itertools
-
-from ..cri import ContainerHandle, ContainerRuntime, ContainerState, SandboxHandle
-
-_ids = itertools.count(1)
+from ..cri import (ContainerHandle, ContainerRuntime, ContainerState,
+                   SandboxHandle, next_runtime_serial)
 
 
 class RuncRuntime(ContainerRuntime):
@@ -25,7 +22,7 @@ class RuncRuntime(ContainerRuntime):
     def run_pod_sandbox(self, pod):
         yield self.sim.timeout(0.05)
         sandbox = SandboxHandle(
-            sandbox_id=f"runc-sb-{next(_ids):06d}",
+            sandbox_id=f"runc-sb-{next_runtime_serial(self.sim, 'runc'):06d}",
             pod_key=pod.key,
             ip=self._allocate_ip(),
             network_stack=self.host_stack,
@@ -52,7 +49,7 @@ class RuncRuntime(ContainerRuntime):
     def create_container(self, sandbox, container_spec):
         yield self.sim.timeout(0.01)
         return ContainerHandle(
-            container_id=f"runc-c-{next(_ids):06d}",
+            container_id=f"runc-c-{next_runtime_serial(self.sim, 'runc'):06d}",
             sandbox=sandbox,
             name=container_spec.name,
             image=container_spec.image,

@@ -1,0 +1,38 @@
+"""Clean fixture: a diamond of nested acquisitions with one global
+order (A before B, always).  Two callers nest the same way through
+different paths; there is no inversion and staticcheck must stay
+silent.
+"""
+
+from repro.simkernel import Lock
+
+
+class Diamond:
+    def __init__(self, sim):
+        self.lock_a = Lock(sim)
+        self.lock_b = Lock(sim)
+
+    def _inner(self):
+        yield self.lock_b.acquire()
+        try:
+            pass
+        finally:
+            self.lock_b.release()
+
+    def left(self):
+        yield self.lock_a.acquire()
+        try:
+            yield from self._inner()
+        finally:
+            self.lock_a.release()
+
+    def right(self):
+        yield self.lock_a.acquire()
+        try:
+            yield self.lock_b.acquire()
+            try:
+                pass
+            finally:
+                self.lock_b.release()
+        finally:
+            self.lock_a.release()

@@ -1,0 +1,40 @@
+"""C002 fixture: two lock families acquired in opposite orders.
+
+``transfer_forward`` takes A then B; ``transfer_back`` takes B then A
+(through a helper, so the cycle is only visible interprocedurally).
+Two processes entering from different ends deadlock under the right
+schedule — staticcheck must flag the A->B->A cycle.
+"""
+
+from repro.simkernel import Lock
+
+
+class Ledger:
+    def __init__(self, sim):
+        self.lock_a = Lock(sim)
+        self.lock_b = Lock(sim)
+
+    def transfer_forward(self):
+        yield self.lock_a.acquire()
+        try:
+            yield self.lock_b.acquire()
+            try:
+                pass
+            finally:
+                self.lock_b.release()
+        finally:
+            self.lock_a.release()
+
+    def _grab_a(self):
+        yield self.lock_a.acquire()
+        try:
+            pass
+        finally:
+            self.lock_a.release()
+
+    def transfer_back(self):
+        yield self.lock_b.acquire()
+        try:
+            yield from self._grab_a()
+        finally:
+            self.lock_b.release()

@@ -127,3 +127,68 @@ class TestPerSimulationUids:
 
     def test_global_fallback_still_unique(self):
         assert generate_uid() != generate_uid()
+
+
+class TestPerSimulationContainerSerials:
+    """staticcheck C003: runc/kata drew sandbox & container IDs from
+    module-level itertools.count, so the second Simulation in one
+    interpreter minted different IDs than the first (and than a fresh
+    process — exactly what breaks golden digests)."""
+
+    def test_fresh_sims_mint_identical_serials(self):
+        from repro.kubelet.cri import next_runtime_serial
+        sims = [Simulation(seed=3), Simulation(seed=3)]
+        seqs = [[next_runtime_serial(sim, "runc") for _ in range(4)]
+                for sim in sims]
+        assert seqs[0] == seqs[1] == [1, 2, 3, 4]
+
+    def test_runtime_kinds_count_independently(self):
+        from repro.kubelet.cri import next_runtime_serial
+        sim = Simulation(seed=3)
+        assert next_runtime_serial(sim, "runc") == 1
+        assert next_runtime_serial(sim, "kata") == 1
+        assert next_runtime_serial(sim, "runc") == 2
+
+    def test_runc_sandbox_ids_restart_per_sim(self):
+        from repro.kubelet.runtimes.runc import RuncRuntime
+        ids = []
+        for _ in range(2):
+            sim = Simulation(seed=3)
+            runtime = RuncRuntime(sim, config=None, host_stack=None,
+                                  pod_ip_allocator=lambda: "10.0.0.1")
+            gen = runtime.run_pod_sandbox(
+                SimpleNamespace(key="default/p"))
+            next(gen)
+            try:
+                gen.send(None)
+            except StopIteration as stop:
+                ids.append(stop.value.sandbox_id)
+        assert ids[0] == ids[1] == "runc-sb-000001"
+
+
+class TestTenantAffinitySpawns:
+    """staticcheck C006: tenant-scoped processes spawned without
+    affinity= fall off the tenant's partition under the parallel
+    backend."""
+
+    def test_vnode_removal_spawn_carries_tenant_affinity(self):
+        from repro.core.syncer.vnode import VNodeManager
+
+        spawns = []
+
+        class _Telemetry:
+            def counter(self, *args, **kwargs):
+                return self
+
+            def labels(self, **kwargs):
+                return SimpleNamespace(inc=lambda *a, **k: None)
+
+        sim = Simulation(seed=3)
+        syncer = SimpleNamespace(
+            sim=sim, name="t1-syncer", _telemetry=_Telemetry(),
+            spawn=lambda coroutine, name=None, affinity=None: (
+                spawns.append((name, affinity)), coroutine.close()))
+        manager = VNodeManager(syncer)
+        manager.pod_bound("t1", "default/p", "node-a")
+        manager.pod_deleted("t1", "default/p")
+        assert spawns == [("vnode-remove-t1-node-a", "t1")]
